@@ -1,0 +1,74 @@
+"""Fig 10: shortest path queries — per-algorithm latency (a) and the
+distance-bucket sweep Q1..Q5 (b)."""
+
+import pytest
+
+from repro.datasets import distance_bucketed_pairs
+
+
+def _cycle(pairs):
+    state = {"i": 0}
+
+    def nxt():
+        p = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return p
+
+    return nxt
+
+
+@pytest.mark.parametrize(
+    "algo", ["viptree", "iptree", "distaw", "distmx", "gtree", "road"]
+)
+def test_shortest_path(benchmark, ctx, algo):
+    index = getattr(ctx, algo)
+    if index is None:
+        pytest.skip("DistMx capped for this venue size")
+    pairs = ctx.pairs(48)
+    nxt = _cycle(pairs)
+    benchmark(lambda: index.shortest_path(*nxt()))
+
+
+@pytest.fixture(scope="module")
+def buckets(contexts):
+    ctx = contexts["Men-2"]
+    return ctx, distance_bucketed_pairs(ctx.space, per_bucket=8, d2d=ctx.d2d, seed=5)
+
+
+@pytest.mark.parametrize("bucket_idx", [0, 2, 4])
+def test_vip_path_by_distance_bucket(benchmark, buckets, bucket_idx):
+    """Fig 10(b): VIP-Tree latency is flat across Q1..Q5."""
+    ctx, bucketed = buckets
+    pairs = bucketed[bucket_idx]
+    if not pairs:
+        pytest.skip("bucket empty at this profile")
+    nxt = _cycle(pairs)
+    benchmark(lambda: ctx.viptree.shortest_path(*nxt()))
+
+
+@pytest.mark.parametrize("bucket_idx", [0, 2, 4])
+def test_distaw_path_by_distance_bucket(benchmark, buckets, bucket_idx):
+    """Fig 10(b): DistAw latency grows sharply with s-t distance."""
+    ctx, bucketed = buckets
+    pairs = bucketed[bucket_idx]
+    if not pairs:
+        pytest.skip("bucket empty at this profile")
+    nxt = _cycle(pairs)
+    benchmark(lambda: ctx.distaw.shortest_path(*nxt()))
+
+
+def test_path_overhead_negligible(ctx):
+    """The paper's observation: recovering the path costs little over
+    the distance query (checked as a ratio on the same workload)."""
+    import time
+
+    pairs = ctx.pairs(48)
+    t0 = time.perf_counter()
+    for s, t in pairs:
+        ctx.viptree.shortest_distance(s, t)
+    dist_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for s, t in pairs:
+        ctx.viptree.shortest_path(s, t)
+    path_time = time.perf_counter() - t0
+    assert path_time < dist_time * 25  # same order of magnitude

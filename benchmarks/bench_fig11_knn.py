@@ -1,0 +1,78 @@
+"""Fig 11(a)-(c): kNN queries across k, object count and venues."""
+
+import pytest
+
+from repro import ObjectIndex
+
+
+def _cycle(items):
+    state = {"i": 0}
+
+    def nxt():
+        x = items[state["i"] % len(items)]
+        state["i"] += 1
+        return x
+
+    return nxt
+
+
+N_OBJECTS = 10
+
+
+@pytest.mark.parametrize("k", [1, 5, 10])
+def test_vip_knn_by_k(benchmark, ctx, k):
+    """Fig 11(a): VIP-Tree kNN vs k."""
+    oi = ctx.object_index("vip", N_OBJECTS)
+    queries = ctx.queries(48)
+    nxt = _cycle(queries)
+    benchmark(lambda: ctx.viptree.knn(oi, nxt(), k))
+
+
+@pytest.mark.parametrize("count", [5, 10, 25])
+def test_vip_knn_by_object_count(benchmark, ctx, count):
+    """Fig 11(b): VIP-Tree kNN vs number of objects."""
+    oi = ctx.object_index("vip", count)
+    queries = ctx.queries(48)
+    nxt = _cycle(queries)
+    benchmark(lambda: ctx.viptree.knn(oi, nxt(), 5))
+
+
+@pytest.mark.parametrize("algo", ["iptree", "viptree"])
+def test_tree_knn(benchmark, ctx, algo):
+    """Fig 11(c): IP and VIP perform equally well (paper's observation)."""
+    tree = getattr(ctx, algo)
+    oi = ctx.object_index("ip" if algo == "iptree" else "vip", N_OBJECTS)
+    queries = ctx.queries(48)
+    nxt = _cycle(queries)
+    benchmark(lambda: tree.knn(oi, nxt(), 5))
+
+
+@pytest.mark.parametrize("algo", ["distaw", "gtree", "road"])
+def test_competitor_knn(benchmark, ctx, algo):
+    index = getattr(ctx, algo)
+    index.attach_objects(ctx.objects(N_OBJECTS))
+    queries = ctx.queries(48)
+    nxt = _cycle(queries)
+    benchmark(lambda: index.knn(nxt(), 5))
+
+
+def test_distawpp_knn(benchmark, ctx):
+    pp = ctx.distawpp
+    if pp is None:
+        pytest.skip("DistMx capped for this venue size")
+    pp.attach_objects(ctx.objects(N_OBJECTS))
+    queries = ctx.queries(48)
+    nxt = _cycle(queries)
+    benchmark(lambda: pp.knn(nxt(), 5))
+
+
+def test_knn_agreement(ctx):
+    """All algorithms return the same top-5 distances on the workload."""
+    objects = ctx.objects(N_OBJECTS)
+    oi = ctx.object_index("vip", N_OBJECTS)
+    ctx.distaw.attach_objects(objects)
+    ctx.road.attach_objects(objects)
+    for q in ctx.queries(12):
+        ref = [round(n.distance, 6) for n in ctx.viptree.knn(oi, q, 5)]
+        assert [round(d, 6) for d, _ in ctx.distaw.knn(q, 5)] == pytest.approx(ref, abs=1e-5)
+        assert [round(d, 6) for d, _ in ctx.road.knn(q, 5)] == pytest.approx(ref, abs=1e-5)

@@ -1,0 +1,56 @@
+"""Fig 11(d): range queries per venue and radius."""
+
+import pytest
+
+RADIUS = 100.0
+N_OBJECTS = 10
+
+
+def _cycle(items):
+    state = {"i": 0}
+
+    def nxt():
+        x = items[state["i"] % len(items)]
+        state["i"] += 1
+        return x
+
+    return nxt
+
+
+@pytest.mark.parametrize("algo", ["iptree", "viptree"])
+def test_tree_range(benchmark, ctx, algo):
+    tree = getattr(ctx, algo)
+    oi = ctx.object_index("ip" if algo == "iptree" else "vip", N_OBJECTS)
+    queries = ctx.queries(48)
+    nxt = _cycle(queries)
+    benchmark(lambda: tree.range_query(oi, nxt(), RADIUS))
+
+
+@pytest.mark.parametrize("algo", ["distaw", "gtree", "road"])
+def test_competitor_range(benchmark, ctx, algo):
+    index = getattr(ctx, algo)
+    index.attach_objects(ctx.objects(N_OBJECTS))
+    queries = ctx.queries(48)
+    nxt = _cycle(queries)
+    benchmark(lambda: index.range_query(nxt(), RADIUS))
+
+
+@pytest.mark.parametrize("radius", [50.0, 100.0, 500.0])
+def test_vip_range_by_radius(benchmark, ctx, radius):
+    """The paper varies the range 50..1000 m (§4.1)."""
+    oi = ctx.object_index("vip", N_OBJECTS)
+    queries = ctx.queries(48)
+    nxt = _cycle(queries)
+    benchmark(lambda: ctx.viptree.range_query(oi, nxt(), radius))
+
+
+def test_range_agreement(ctx):
+    """All algorithms return the same object sets on the workload."""
+    objects = ctx.objects(N_OBJECTS)
+    oi = ctx.object_index("vip", N_OBJECTS)
+    ctx.distaw.attach_objects(objects)
+    ctx.road.attach_objects(objects)
+    for q in ctx.queries(12):
+        ref = {n.object_id for n in ctx.viptree.range_query(oi, q, RADIUS)}
+        assert {i for _, i in ctx.distaw.range_query(q, RADIUS)} == ref
+        assert {i for _, i in ctx.road.range_query(q, RADIUS)} == ref

@@ -1,0 +1,59 @@
+"""Fig 7: effect of the minimum degree t on VIP-Tree construction and
+query cost (paper §4.1, on the Clayton venue)."""
+
+import pytest
+
+from repro import VIPTree
+from repro.bench.harness import VenueContext
+
+from conftest import PROFILE
+
+
+@pytest.fixture(scope="module")
+def cl_context():
+    return VenueContext("CL", PROFILE)
+
+
+@pytest.mark.parametrize("t", [2, 10, 60])
+def test_construction_vs_t(benchmark, cl_context, t):
+    """Fig 7(a): indexing time grows with t."""
+    space = cl_context.space
+    tree = benchmark.pedantic(
+        VIPTree.build, args=(space,), kwargs={"t": t, "d2d": cl_context.d2d},
+        rounds=2, iterations=1,
+    )
+    assert tree.stats().num_leaves >= 1
+
+
+@pytest.mark.parametrize("t", [2, 10, 60])
+def test_distance_query_vs_t(benchmark, cl_context, t):
+    """Fig 7(b): shortest distance time is flat in t (O(ρ²), height-free)."""
+    tree = VIPTree.build(cl_context.space, t=t, d2d=cl_context.d2d)
+    pairs = cl_context.pairs(32)
+    state = {"i": 0}
+
+    def run():
+        s, q = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return tree.shortest_distance(s, q)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("t", [2, 10, 60])
+def test_knn_query_vs_t(benchmark, cl_context, t):
+    """Fig 7(b): kNN time grows with t (less pruning in fat nodes)."""
+    from repro import ObjectIndex
+
+    tree = VIPTree.build(cl_context.space, t=t, d2d=cl_context.d2d)
+    objects = cl_context.objects(10)
+    oi = ObjectIndex(tree, objects)
+    queries = cl_context.queries(32)
+    state = {"i": 0}
+
+    def run():
+        q = queries[state["i"] % len(queries)]
+        state["i"] += 1
+        return tree.knn(oi, q, 5)
+
+    benchmark(run)

@@ -1,0 +1,55 @@
+"""Fig 9: shortest distance queries — per-algorithm latency plus the
+door-pair counting of Fig 9(a)."""
+
+import pytest
+
+
+def _cycle(pairs):
+    state = {"i": 0}
+
+    def nxt():
+        p = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return p
+
+    return nxt
+
+
+@pytest.mark.parametrize(
+    "algo", ["viptree", "iptree", "distaw", "distmx", "gtree", "road"]
+)
+def test_shortest_distance(benchmark, ctx, algo):
+    index = getattr(ctx, algo)
+    if index is None:
+        pytest.skip("DistMx capped for this venue size")
+    pairs = ctx.pairs(64)
+    nxt = _cycle(pairs)
+    benchmark(lambda: index.shortest_distance(*nxt()))
+
+
+def test_fig9a_pair_counts(ctx):
+    """Fig 9(a): the no-through optimization reduces the door pairs
+    DistMx enumerates; VIP's superior-door pairs are in the same range."""
+    mx = ctx.distmx
+    pairs = ctx.pairs(64)
+    unopt = sum(mx.distance_query(s, t, optimized=False)[1] for s, t in pairs)
+    opt = sum(mx.distance_query(s, t, optimized=True)[1] for s, t in pairs)
+    assert opt <= unopt
+    vip_pairs = sum(
+        ctx.viptree.distance_query(s, t).stats.superior_pairs for s, t in pairs
+    )
+    assert vip_pairs <= unopt
+
+
+def test_fig9b_all_algorithms_agree(ctx):
+    """Shape sanity behind the latency chart: every algorithm returns the
+    same distances on the benchmark workload."""
+    pairs = ctx.pairs(24)
+    for s, t in pairs:
+        reference = ctx.viptree.shortest_distance(s, t)
+        assert abs(ctx.iptree.shortest_distance(s, t) - reference) < 1e-6
+        assert abs(ctx.distaw.shortest_distance(s, t) - reference) < 1e-6
+        assert abs(ctx.road.shortest_distance(s, t) - reference) < 1e-6
+        assert ctx.gtree.shortest_distance(s, t) >= reference - 1e-6
+        if ctx.distmx is not None:
+            assert abs(ctx.distmx.shortest_distance(s, t) - reference) < 1e-6

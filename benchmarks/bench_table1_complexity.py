@@ -1,0 +1,40 @@
+"""Table 1: complexity parameters — benchmarks the O(ρ²) distance lookup
+against the O(hρ²) IP-Tree climb, the measurable consequence of the
+complexity table."""
+
+
+def test_vip_distance_lookup(benchmark, ctx):
+    """VIP-Tree shortest distance: O(ρ²) per query."""
+    tree = ctx.viptree
+    pairs = ctx.pairs(64)
+    state = {"i": 0}
+
+    def run():
+        s, t = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return tree.shortest_distance(s, t)
+
+    benchmark(run)
+
+
+def test_ip_distance_climb(benchmark, ctx):
+    """IP-Tree shortest distance: O(hρ²) per query (climbs the tree)."""
+    tree = ctx.iptree
+    pairs = ctx.pairs(64)
+    state = {"i": 0}
+
+    def run():
+        s, t = pairs[state["i"] % len(pairs)]
+        state["i"] += 1
+        return tree.shortest_distance(s, t)
+
+    benchmark(run)
+
+
+def test_table1_parameters_reported(ctx):
+    """Not a timing benchmark: assert the measured parameters stay in the
+    paper's regime (ρ and f small)."""
+    s = ctx.viptree.stats()
+    assert s.avg_access_doors < 16
+    assert s.avg_fanout <= 8
+    assert s.num_leaves <= ctx.space.num_doors

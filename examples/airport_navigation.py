@@ -1,0 +1,102 @@
+"""Airport navigation: shortest travel-time path to a boarding gate.
+
+Another paper §1.1 scenario: "a passenger may want to find the shortest
+path to the boarding gate in an airport". We model a two-pier terminal
+with a security checkpoint, a train between piers (a fixed-traversal
+connector, §2's travel-time edge weights) and boarding gates, then
+route passengers by travel time.
+
+Run:  python examples/airport_navigation.py
+"""
+
+from repro import (
+    IndoorPoint,
+    IndoorSpaceBuilder,
+    ObjectIndex,
+    PartitionKind,
+    VIPTree,
+    make_object_set,
+)
+
+
+def build_terminal():
+    b = IndoorSpaceBuilder(name="airport")
+    landside = b.add_hallway(floor=0, label="check-in hall")
+    b.add_exterior_door(landside, x=0.0, y=0.0, label="terminal entrance")
+    for i in range(6):
+        desk = b.add_room(floor=0, label=f"check-in {i}")
+        b.add_door(landside, desk, x=3.0 + i * 3.0, y=2.0)
+
+    security = b.add_room(floor=0, label="security")
+    b.add_door(landside, security, x=20.0, y=0.0)
+
+    pier_a = b.add_hallway(floor=0, label="pier A")
+    b.add_door(security, pier_a, x=24.0, y=0.0)
+    gates_a = []
+    for i in range(8):
+        gate = b.add_room(floor=0, label=f"gate A{i + 1}")
+        b.add_door(pier_a, gate, x=28.0 + i * 5.0, y=2.0)
+        gates_a.append(gate)
+
+    pier_b = b.add_hallway(floor=0, label="pier B")
+    gates_b = []
+    for i in range(8):
+        gate = b.add_room(floor=0, label=f"gate B{i + 1}")
+        b.add_door(pier_b, gate, x=128.0 + i * 5.0, y=2.0)
+        gates_b.append(gate)
+
+    # Inter-pier people mover: a fixed 30-unit traversal regardless of
+    # geometric length (the paper's travel-time weights for lifts) —
+    # faster than walking the connector corridor.
+    train = b.add_partition(
+        PartitionKind.LIFT, floor=0, label="pier train", fixed_traversal=30.0
+    )
+    b.add_door(train, pier_a, x=60.0, y=0.0)
+    b.add_door(train, pier_b, x=126.0, y=0.0)
+    # walkable corridor as the slow alternative
+    walkway = b.add_hallway(floor=0, label="connector walkway")
+    b.add_door(pier_a, walkway, x=62.0, y=4.0)
+    b.add_door(walkway, pier_b, x=127.0, y=4.0)
+    for i in range(5):
+        shop = b.add_room(floor=0, label=f"duty-free {i}")
+        b.add_door(walkway, shop, x=70.0 + i * 10.0, y=6.0)
+
+    return b.build(), gates_a, gates_b
+
+
+def main():
+    space, gates_a, gates_b = build_terminal()
+    tree = VIPTree.build(space)
+    print(f"{space.name}: {space.num_partitions} partitions, "
+          f"{space.num_doors} doors")
+
+    passenger = IndoorPoint(gates_a[0], 29.0, 3.0)  # waiting at gate A1
+    target = IndoorPoint(gates_b[7], 164.0, 3.0)    # rebooked to gate B8
+
+    path = tree.shortest_path(passenger, target)
+    print(f"\ngate A1 -> gate B8: {path.distance:.0f} m-equivalent "
+          f"({len(path.doors)} doors)")
+    used_train = any(
+        space.partitions[p].label == "pier train"
+        for d in path.doors
+        for p in space.door_partitions[d]
+    )
+    print(f"route uses the pier train: {used_train}")
+
+    # nearest duty-free from the connector
+    shop_parts = [p for p in space.partitions if p.label.startswith("duty-free")]
+    shops = make_object_set(
+        space,
+        [IndoorPoint(p.partition_id, 71.0 + i * 10.0, 7.0)
+         for i, p in enumerate(shop_parts)],
+        labels=[p.label for p in shop_parts],
+        category="shop",
+    )
+    index = ObjectIndex(tree, shops)
+    n = tree.knn(index, passenger, 1)[0]
+    print(f"nearest duty-free to gate A1: {shops[n.object_id].label} "
+          f"({n.distance:.0f} m)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: build a small venue, index it, run all four query types.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    IndoorPoint,
+    IndoorSpaceBuilder,
+    ObjectIndex,
+    VIPTree,
+    make_object_set,
+)
+
+
+def build_venue():
+    """A one-floor office: a hallway with six rooms and two exits."""
+    b = IndoorSpaceBuilder(name="quickstart-office")
+    hallway = b.add_hallway(floor=0, label="main hallway")
+    rooms = []
+    for i in range(6):
+        room = b.add_room(floor=0, label=f"office {i}")
+        b.add_door(hallway, room, x=2.0 + i * 4.0, y=1.0)
+        rooms.append(room)
+    west = b.add_exterior_door(hallway, x=0.0, y=0.0, label="west exit")
+    east = b.add_exterior_door(hallway, x=26.0, y=0.0, label="east exit")
+    return b.build(), rooms, (west, east)
+
+
+def main():
+    space, rooms, exits = build_venue()
+    print(f"venue: {space.name} — {space.num_partitions} partitions, "
+          f"{space.num_doors} doors")
+
+    # Build the paper's VIP-Tree (IPTree.build works identically).
+    tree = VIPTree.build(space)
+    stats = tree.stats()
+    print(f"index: {tree.index_name} — {stats.num_leaves} leaves, "
+          f"height {stats.height}, avg access doors {stats.avg_access_doors:.2f}")
+
+    alice = IndoorPoint(rooms[0], 2.0, 3.0)   # in office 0
+    bob = IndoorPoint(rooms[5], 22.0, 3.0)    # in office 5
+
+    # 1. shortest distance
+    d = tree.shortest_distance(alice, bob)
+    print(f"\nshortest distance alice -> bob: {d:.2f} m")
+
+    # 2. shortest path (door sequence)
+    path = tree.shortest_path(alice, bob)
+    doors = " -> ".join(space.doors[d].label for d in path.doors)
+    print(f"shortest path ({path.distance:.2f} m): {doors}")
+
+    # 3. k nearest neighbours over objects (coffee machines)
+    machines = make_object_set(
+        space,
+        [IndoorPoint(rooms[1], 6.0, 3.0), IndoorPoint(rooms[4], 18.0, 3.0)],
+        labels=["coffee-1", "coffee-2"],
+        category="coffee",
+    )
+    index = ObjectIndex(tree, machines)
+    nearest = tree.knn(index, alice, 1)[0]
+    print(f"nearest coffee machine to alice: "
+          f"{machines[nearest.object_id].label} at {nearest.distance:.2f} m")
+
+    # 4. range query
+    within = tree.range_query(index, alice, 15.0)
+    print(f"coffee machines within 15 m of alice: "
+          f"{[machines[n.object_id].label for n in within]}")
+
+    # bonus: door-to-door queries work too (here: exit to exit)
+    west, east = exits
+    print(f"\nexit-to-exit distance: {tree.shortest_distance(west, east):.2f} m")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Baseline indexes the paper compares against, plus a Dijkstra oracle."""
+
+from .base import SpatialIndex, candidate_doors, direct_distance, endpoint_offsets
+from .distaware import DistAware, DistAwPlusPlus
+from .distmx import DistanceMatrix, DistMxObjects
+from .gtree import GTree
+from .oracle import DijkstraOracle
+from .road import Road
+
+__all__ = [
+    "DijkstraOracle",
+    "DistAwPlusPlus",
+    "DistAware",
+    "DistMxObjects",
+    "DistanceMatrix",
+    "GTree",
+    "Road",
+    "SpatialIndex",
+    "candidate_doors",
+    "direct_distance",
+    "endpoint_offsets",
+]

@@ -1,0 +1,92 @@
+"""Shared plumbing for the baseline indexes.
+
+All baselines answer the same four queries as the trees (shortest
+distance, shortest path, kNN, range) over the same endpoint types
+(:class:`IndoorPoint` or door id). This module normalizes endpoints into
+virtual-source door offsets and defines the informal interface the
+benchmark harness relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..exceptions import QueryError
+from ..model.entities import IndoorPoint, PartitionCategory
+from ..model.indoor_space import IndoorSpace
+
+
+def endpoint_offsets(space: IndoorSpace, raw) -> tuple[dict[int, float], int | None]:
+    """Normalize a query endpoint into ``(door offsets, partition id)``.
+
+    * a door id becomes ``{door: 0.0}`` with its first partition,
+    * an :class:`IndoorPoint` becomes the point-to-door distances of its
+      partition's doors.
+    """
+    if isinstance(raw, IndoorPoint):
+        space.validate_point(raw)
+        offsets = {
+            du: space.point_to_door_distance(raw, du)
+            for du in space.partitions[raw.partition_id].door_ids
+        }
+        return offsets, raw.partition_id
+    if isinstance(raw, int):
+        if not 0 <= raw < space.num_doors:
+            raise QueryError(f"unknown door {raw}")
+        return {raw: 0.0}, None
+    raise QueryError(
+        f"query endpoints must be IndoorPoint or door id, got {type(raw).__name__}"
+    )
+
+
+def direct_distance(space: IndoorSpace, a, b) -> float:
+    """Direct intra-partition distance when both endpoints are points of
+    the same partition, else +inf."""
+    if (
+        isinstance(a, IndoorPoint)
+        and isinstance(b, IndoorPoint)
+        and a.partition_id == b.partition_id
+    ):
+        return space.direct_point_distance(a, b)
+    return float("inf")
+
+
+def candidate_doors(
+    space: IndoorSpace,
+    partition_id: int | None,
+    doors: list[int],
+    other_partition: int | None,
+) -> list[int]:
+    """The paper's DistMx optimization (§4.3.1): drop doors that lead to
+    no-through partitions.
+
+    A door whose other side is a no-through partition can never be on a
+    shortest path — unless that partition is the other endpoint's. The
+    door set is never reduced to empty (a no-through source partition
+    keeps its single door).
+    """
+    if partition_id is None:
+        return doors
+    out = []
+    for d in doors:
+        owners = space.door_partitions[d]
+        if len(owners) == 2:
+            other = owners[0] if owners[1] == partition_id else owners[1]
+            if (
+                other != other_partition
+                and space.category(other) is PartitionCategory.NO_THROUGH
+            ):
+                continue
+        out.append(d)
+    return out or doors
+
+
+@runtime_checkable
+class SpatialIndex(Protocol):
+    """Informal interface every index in the library provides."""
+
+    index_name: str
+
+    def shortest_distance(self, source, target) -> float: ...
+
+    def memory_bytes(self) -> int: ...

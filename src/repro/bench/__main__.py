@@ -1,0 +1,62 @@
+"""Experiment CLI: ``python -m repro.bench [experiment ...]``.
+
+Examples:
+    python -m repro.bench table2
+    python -m repro.bench fig9 --profile small
+    python -m repro.bench all --profile tiny --markdown out.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..datasets.profiles import PROFILES
+from .experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=[*EXPERIMENTS, "all"],
+        help="which experiments to run",
+    )
+    parser.add_argument(
+        "--profile",
+        default="small",
+        choices=PROFILES,
+        help="venue size profile (default: small)",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="FILE",
+        help="also write the tables as markdown to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    markdown_chunks: list[str] = []
+    for name in names:
+        start = time.perf_counter()
+        tables = EXPERIMENTS[name](profile=args.profile)
+        elapsed = time.perf_counter() - start
+        for table in tables:
+            print()
+            print(table.render())
+            markdown_chunks.append(table.to_markdown())
+        print(f"\n[{name} completed in {elapsed:.1f}s]")
+    if args.markdown:
+        with open(args.markdown, "w") as fh:
+            fh.write("\n\n".join(markdown_chunks) + "\n")
+        print(f"markdown written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

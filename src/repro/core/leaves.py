@@ -1,0 +1,146 @@
+"""Leaf-node creation for the IP-Tree (paper §2.1.2, step 1).
+
+Adjacent indoor partitions are merged into leaf nodes under two rules:
+
+i.  A general partition adjacent to several hallways joins the hallway
+    with the greatest number of common doors; ties prefer a same-floor
+    hallway, then the lowest partition id (the paper breaks remaining
+    ties arbitrarily — we pick deterministically).
+ii. No leaf may contain more than one hallway, which keeps shortest
+    distance/path queries between hallways out of single leaves and lets
+    the tree structure do the work.
+
+Merging proceeds until no partition can join a leaf without violating
+rule ii. Partitions in hallway-free pockets (or venues with no hallway at
+all) form their own leaves per connected pocket.
+"""
+
+from __future__ import annotations
+
+from ..model.entities import DEFAULT_DELTA, PartitionCategory
+from ..model.indoor_space import IndoorSpace
+
+
+def build_leaves(space: IndoorSpace, delta: int = DEFAULT_DELTA) -> list[list[int]]:
+    """Group partition ids into leaf nodes.
+
+    Returns:
+        A list of leaves; each leaf is a sorted list of partition ids.
+        Every partition belongs to exactly one leaf.
+    """
+    num_parts = space.num_partitions
+    leaf_of: list[int | None] = [None] * num_parts
+    leaves: list[list[int]] = []
+
+    # Every hallway seeds its own leaf (rule ii makes them pairwise
+    # unmergeable).
+    hallways = [
+        pid
+        for pid in range(num_parts)
+        if space.category(pid, delta) is PartitionCategory.HALLWAY
+    ]
+    for pid in hallways:
+        leaf_of[pid] = len(leaves)
+        leaves.append([pid])
+
+    # Rule i: non-hallway partitions adjacent to hallways join the hallway
+    # with the most common doors (ties: same floor, then lowest hallway id).
+    hallway_set = set(hallways)
+    for pid in range(num_parts):
+        if leaf_of[pid] is not None:
+            continue
+        best = None
+        part_floor = space.partitions[pid].floor
+        for neighbor, shared in sorted(space.adjacent_partitions(pid).items()):
+            if neighbor not in hallway_set:
+                continue
+            same_floor = space.partitions[neighbor].floor == part_floor
+            key = (len(shared), same_floor, -neighbor)
+            if best is None or key > best[0]:
+                best = (key, neighbor)
+        if best is not None:
+            leaf = leaf_of[best[1]]
+            leaf_of[pid] = leaf
+            leaves[leaf].append(pid)
+
+    # Waves: partitions adjacent to an already-assigned partition join its
+    # leaf, preferring the neighbour with the most common doors. Processing
+    # in rounds keeps the result independent of iteration order within a
+    # round.
+    unassigned = [pid for pid in range(num_parts) if leaf_of[pid] is None]
+    while unassigned:
+        decisions: list[tuple[int, int]] = []
+        for pid in unassigned:
+            best = None
+            part_floor = space.partitions[pid].floor
+            for neighbor, shared in sorted(space.adjacent_partitions(pid).items()):
+                leaf = leaf_of[neighbor]
+                if leaf is None:
+                    continue
+                same_floor = space.partitions[neighbor].floor == part_floor
+                key = (len(shared), same_floor, -neighbor)
+                if best is None or key > best[0]:
+                    best = (key, leaf)
+            if best is not None:
+                decisions.append((pid, best[1]))
+        if not decisions:
+            break
+        for pid, leaf in decisions:
+            leaf_of[pid] = leaf
+            leaves[leaf].append(pid)
+        unassigned = [pid for pid in unassigned if leaf_of[pid] is None]
+
+    # Hallway-free pockets: one leaf per connected component.
+    if unassigned:
+        remaining = set(unassigned)
+        for pid in unassigned:
+            if leaf_of[pid] is not None:
+                continue
+            leaf = len(leaves)
+            leaves.append([])
+            stack = [pid]
+            leaf_of[pid] = leaf
+            while stack:
+                cur = stack.pop()
+                leaves[leaf].append(cur)
+                for neighbor in space.adjacent_partitions(cur):
+                    if neighbor in remaining and leaf_of[neighbor] is None:
+                        leaf_of[neighbor] = leaf
+                        stack.append(neighbor)
+
+    return [sorted(leaf) for leaf in leaves if leaf]
+
+
+def leaf_access_doors(space: IndoorSpace, leaves: list[list[int]]) -> list[list[int]]:
+    """Access doors of each leaf (paper Definition 1).
+
+    A door is an access door of a leaf when it connects the leaf to space
+    outside of it: either its two partitions live in different leaves, or
+    it is an exterior door (one adjacent partition — it opens to the
+    outside world, e.g. the paper's d1/d7/d20).
+    """
+    leaf_of: dict[int, int] = {}
+    for idx, leaf in enumerate(leaves):
+        for pid in leaf:
+            leaf_of[pid] = idx
+    access: list[set[int]] = [set() for _ in leaves]
+    for did, owners in enumerate(space.door_partitions):
+        if len(owners) == 1:
+            access[leaf_of[owners[0]]].add(did)
+        else:
+            la, lb = leaf_of[owners[0]], leaf_of[owners[1]]
+            if la != lb:
+                access[la].add(did)
+                access[lb].add(did)
+    return [sorted(a) for a in access]
+
+
+def leaf_door_sets(space: IndoorSpace, leaves: list[list[int]]) -> list[list[int]]:
+    """All doors attached to each leaf's partitions (matrix rows)."""
+    result = []
+    for leaf in leaves:
+        doors: set[int] = set()
+        for pid in leaf:
+            doors.update(space.partitions[pid].door_ids)
+        result.append(sorted(doors))
+    return result

@@ -1,0 +1,174 @@
+"""Node merging — Algorithm 1 of the paper (§2.1.2, step 2).
+
+Nodes at level *l* are merged into nodes at level *l+1* such that each
+new node has at least ``t`` children (the tree's minimum degree):
+
+* a min-heap orders nodes by *degree* (number of level-l nodes absorbed
+  so far), tie-broken by the number of adjacent nodes — nodes with fewer
+  potential partners merge first, exactly as the paper motivates with N1
+  and N4 of the running example;
+* a de-heaped node merges with the node sharing the **most common access
+  doors**, which minimizes the access-door count of the parent
+  (``|AD(Ni)| + |AD(Nj)| - 2|AD(Ni) ∩ AD(Nj)|``);
+* merging stops when the smallest node already has degree >= t.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..exceptions import ConstructionError
+
+
+@dataclass(slots=True)
+class MergeCandidate:
+    """A node participating in one round of Algorithm 1."""
+
+    item_id: int
+    #: ids of the level-l nodes merged into this candidate (its children).
+    members: list[int]
+    #: current access doors of the merged region.
+    access_doors: frozenset[int]
+    #: number of level-l nodes contained (the paper's "degree").
+    degree: int = 1
+    alive: bool = True
+    version: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def create_next_level(
+    access_door_sets: list[frozenset[int]],
+    exterior_doors: frozenset[int],
+    t: int,
+) -> list[list[int]]:
+    """One round of Algorithm 1.
+
+    Args:
+        access_door_sets: ``AD(Ni)`` for each node at the current level
+            (index = node position).
+        exterior_doors: doors opening to the outside world; they remain
+            access doors of every merged region and are never cancelled
+            by a merge.
+        t: minimum degree (minimum number of children per new node).
+
+    Returns:
+        Groups of current-level node indices; each group becomes one node
+        of the next level. Raises :class:`ConstructionError` for t < 2.
+    """
+    if t < 2:
+        raise ConstructionError(f"minimum degree t must be >= 2, got {t}")
+    n = len(access_door_sets)
+    if n <= 1:
+        return [[i] for i in range(n)]
+
+    candidates: list[MergeCandidate] = [
+        MergeCandidate(item_id=i, members=[i], access_doors=frozenset(ads))
+        for i, ads in enumerate(access_door_sets)
+    ]
+    # door -> set of alive candidate ids whose AD contains the door
+    door_owners: dict[int, set[int]] = {}
+    for cand in candidates:
+        for d in cand.access_doors:
+            door_owners.setdefault(d, set()).add(cand.item_id)
+
+    def adjacency_count(cand: MergeCandidate) -> int:
+        partners: set[int] = set()
+        for d in cand.access_doors:
+            partners.update(door_owners.get(d, ()))
+        partners.discard(cand.item_id)
+        return len(partners)
+
+    heap: list[tuple[int, int, int, int]] = []
+
+    def push(cand: MergeCandidate) -> None:
+        heapq.heappush(
+            heap, (cand.degree, adjacency_count(cand), cand.item_id, cand.version)
+        )
+
+    for cand in candidates:
+        push(cand)
+
+    by_id: dict[int, MergeCandidate] = {c.item_id: c for c in candidates}
+    next_id = n
+    alive_count = n
+
+    while heap and alive_count > 1:
+        degree, _, item_id, version = heap[0]
+        cand = by_id.get(item_id)
+        if cand is None or not cand.alive or cand.version != version:
+            heapq.heappop(heap)
+            continue
+        if degree >= t:
+            break  # every remaining node already has >= t children
+        heapq.heappop(heap)
+
+        # Partner with the highest number of common access doors.
+        overlap: dict[int, int] = {}
+        for d in cand.access_doors:
+            for other_id in door_owners.get(d, ()):
+                if other_id != item_id:
+                    overlap[other_id] = overlap.get(other_id, 0) + 1
+        if not overlap:
+            # Isolated region (only exterior doors). Finalize it as its
+            # own next-level node by boosting its degree past t.
+            cand.degree = t
+            cand.version += 1
+            push(cand)
+            continue
+        partner_id = max(overlap, key=lambda oid: (overlap[oid], -oid))
+        partner = by_id[partner_id]
+
+        # Merge `cand` and `partner`: common non-exterior access doors
+        # become interior (they now connect two sub-regions of the same
+        # node).
+        common = cand.access_doors & partner.access_doors
+        cancelled = common - exterior_doors
+        merged_access = (cand.access_doors | partner.access_doors) - cancelled
+
+        for old in (cand, partner):
+            old.alive = False
+            for d in old.access_doors:
+                owners = door_owners.get(d)
+                if owners is not None:
+                    owners.discard(old.item_id)
+        del by_id[cand.item_id]
+        del by_id[partner.item_id]
+        alive_count -= 1  # two died, one born
+
+        merged = MergeCandidate(
+            item_id=next_id,
+            members=cand.members + partner.members,
+            access_doors=merged_access,
+            degree=cand.degree + partner.degree,
+        )
+        next_id += 1
+        by_id[merged.item_id] = merged
+        for d in merged.access_doors:
+            door_owners.setdefault(d, set()).add(merged.item_id)
+        push(merged)
+
+    groups = [sorted(c.members) for c in by_id.values() if c.alive]
+    groups.sort()
+    return groups
+
+
+def merged_access_doors(
+    access_door_sets: list[frozenset[int]],
+    exterior_doors: frozenset[int],
+    group: list[int],
+) -> frozenset[int]:
+    """Access doors of a merged group of nodes.
+
+    A door stays an access door iff it is exterior or it appears in
+    exactly one member's AD set (doors shared by two members become
+    interior — a door belongs to at most two leaves, hence to at most two
+    members).
+    """
+    counts: dict[int, int] = {}
+    for idx in group:
+        for d in access_door_sets[idx]:
+            counts[d] = counts.get(d, 0) + 1
+    return frozenset(
+        d for d, c in counts.items() if c == 1 or d in exterior_doors
+    )

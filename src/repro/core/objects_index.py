@@ -1,0 +1,89 @@
+"""Embedding indoor objects into the tree (paper §3.4, "Indexing Indoor
+Objects").
+
+For each object the index records the leaf node containing its
+partition; for each access door of a leaf it keeps the list of leaf
+objects sorted by distance from that door; and every tree node knows how
+many objects live in its subtree (branch-and-bound pruning skips empty
+nodes, Algorithm 5 line 10).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..model.objects import ObjectSet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tree import IPTree
+
+INF = float("inf")
+
+
+class ObjectIndex:
+    """Objects embedded into an IP-Tree / VIP-Tree."""
+
+    def __init__(self, tree: "IPTree", objects: ObjectSet) -> None:
+        objects.validate(tree.space)
+        self.tree = tree
+        self.objects = objects
+        #: leaf node id -> object ids located in that leaf
+        self.leaf_objects: dict[int, list[int]] = {}
+        #: leaf node id -> {access door -> [(distance, object id)] sorted}
+        self.access_lists: dict[int, dict[int, list[tuple[float, int]]]] = {}
+        #: node id -> number of objects in the subtree
+        self.node_counts: dict[int, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        tree = self.tree
+        space = tree.space
+        for obj in self.objects:
+            pid = obj.location.partition_id
+            leaf_id = tree.leaf_node_of_partition[pid]
+            self.leaf_objects.setdefault(leaf_id, []).append(obj.object_id)
+            for nid in tree.chain_of_leaf(leaf_id):
+                self.node_counts[nid] = self.node_counts.get(nid, 0) + 1
+
+        for leaf_id, oids in self.leaf_objects.items():
+            node = tree.nodes[leaf_id]
+            table = node.table
+            per_door: dict[int, list[tuple[float, int]]] = {
+                a: [] for a in node.access_doors
+            }
+            for oid in oids:
+                obj = self.objects[oid]
+                pid = obj.location.partition_id
+                part_doors = space.partitions[pid].door_ids
+                for a in node.access_doors:
+                    # exact dist(a, o): leave the object's partition through
+                    # any of its doors (matrix distances are globally exact)
+                    best = INF
+                    for dv in part_doors:
+                        d = table.distance(dv, a) + space.point_to_door_distance(
+                            obj.location, dv
+                        )
+                        if d < best:
+                            best = d
+                    per_door[a].append((best, oid))
+            for a in per_door:
+                per_door[a].sort()
+            self.access_lists[leaf_id] = per_door
+
+    # ------------------------------------------------------------------
+    def count(self, node_id: int) -> int:
+        """Objects in the subtree of ``node_id`` (0 when empty)."""
+        return self.node_counts.get(node_id, 0)
+
+    def objects_in_leaf(self, leaf_id: int) -> list[int]:
+        return self.leaf_objects.get(leaf_id, [])
+
+    def memory_bytes(self) -> int:
+        total = 16 * sum(len(v) for v in self.leaf_objects.values())
+        for per_door in self.access_lists.values():
+            total += 24 * sum(len(lst) for lst in per_door.values())
+        total += 16 * len(self.node_counts)
+        return total
+
+    def __len__(self) -> int:
+        return len(self.objects)

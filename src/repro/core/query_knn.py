@@ -1,0 +1,174 @@
+"""k-nearest-neighbour queries (paper §3.4, Algorithm 5).
+
+A best-first search over the tree: nodes are visited in order of
+``mindist(q, N)`` and pruned against the current k-th neighbour
+distance. The distances from q to the access doors of every visited node
+are derived incrementally from the parent's distances via the paper's
+Lemmas 8 and 9, so each node costs O(ρ²) instead of a full Algorithm 3
+run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING
+
+from ..exceptions import QueryError
+from ..graph.dijkstra import dijkstra
+from .objects_index import ObjectIndex
+from .query_distance import Endpoint
+from .results import Neighbor, QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tree import IPTree
+
+INF = float("inf")
+
+
+class _Search:
+    """Shared machinery for kNN and range queries."""
+
+    def __init__(self, tree: "IPTree", index: ObjectIndex, query) -> None:
+        if index.tree is not tree:
+            raise QueryError("object index was built for a different tree")
+        self.tree = tree
+        self.index = index
+        self.endpoint = Endpoint(tree, query)
+        self.leaf_q = self.endpoint.leaves[0]
+        self.chain = tree.chain_of_leaf(self.leaf_q)
+        self.chain_pos = {nid: i for i, nid in enumerate(self.chain)}
+        # Distances from q to the access doors of every chain node
+        # (Algorithm 5 line 2: getDistances(q, root)).
+        _, _, chain_map = tree.endpoint_distances(
+            self.endpoint, tree.root_id, leaf_id=self.leaf_q, collect_chain=True
+        )
+        self.node_dists: dict[int, dict[int, float]] = dict(chain_map)
+        self.stats = QueryStats()
+
+    # ------------------------------------------------------------------
+    def child_distances(self, parent_id: int, child_id: int) -> dict[int, float]:
+        """Lemmas 8/9: distances from q to ``AD(child)`` via the parent.
+
+        When the parent contains q, the source set is the parent's child
+        on the query chain (Lemma 8, siblings); otherwise the parent's
+        own access doors (Lemma 9). Both use the parent's matrix.
+        """
+        cached = self.node_dists.get(child_id)
+        if cached is not None:
+            return cached
+        parent = self.tree.nodes[parent_id]
+        pos = self.chain_pos.get(parent_id)
+        if pos is not None and pos > 0:
+            source = self.node_dists[self.chain[pos - 1]]
+        else:
+            source = self.node_dists[parent_id]
+        table = parent.table
+        child_ad = self.tree.nodes[child_id].access_doors
+        dists = {}
+        for a in child_ad:
+            best = INF
+            for d, dd in source.items():
+                v = dd + table.distance(d, a)
+                if v < best:
+                    best = v
+            dists[a] = best
+        self.node_dists[child_id] = dists
+        return dists
+
+    def leaf_object_distances(self, leaf_id: int, bound: float):
+        """Exact object distances for one leaf, pruned by ``bound``.
+
+        Yields ``(distance, object_id)`` pairs (unsorted). The leaf
+        containing q is handled exactly with a Dijkstra expansion on the
+        D2D graph; other leaves combine the access-door distances with
+        the per-door sorted object lists (early break at the bound).
+        """
+        tree = self.tree
+        index = self.index
+        oids = index.objects_in_leaf(leaf_id)
+        if not oids:
+            return
+        if leaf_id == self.leaf_q:
+            space = tree.space
+            targets: set[int] = set()
+            parts = {index.objects[oid].location.partition_id for oid in oids}
+            for pid in parts:
+                targets.update(space.partitions[pid].door_ids)
+            dist, _ = dijkstra(tree.d2d, dict(self.endpoint.offsets), targets=targets)
+            for oid in oids:
+                obj = index.objects[oid]
+                pid = obj.location.partition_id
+                best = INF
+                for dv in space.partitions[pid].door_ids:
+                    d = dist.get(dv, INF) + space.point_to_door_distance(obj.location, dv)
+                    if d < best:
+                        best = d
+                if (
+                    not self.endpoint.is_door
+                    and pid == self.endpoint.partition
+                ):
+                    direct = space.direct_point_distance(self.endpoint.point, obj.location)
+                    if direct < best:
+                        best = direct
+                if best <= bound:
+                    yield best, oid
+        else:
+            dq = self.node_dists[leaf_id]
+            best_per_obj: dict[int, float] = {}
+            for a, base in dq.items():
+                for dobj, oid in self.index.access_lists[leaf_id][a]:
+                    total = base + dobj
+                    if total > bound:
+                        break  # lists are sorted by object distance
+                    cur = best_per_obj.get(oid, INF)
+                    if total < cur:
+                        best_per_obj[oid] = total
+            yield from ((d, oid) for oid, d in best_per_obj.items())
+
+
+def knn(tree: "IPTree", index: ObjectIndex, query, k: int) -> list[Neighbor]:
+    """Algorithm 5: the k nearest objects to ``query`` by indoor distance."""
+    if k <= 0:
+        raise QueryError(f"k must be positive, got {k}")
+    search = _Search(tree, index, query)
+    stats = search.stats
+
+    results: list[tuple[float, int]] = []  # max-heap via negated distance
+
+    def dk() -> float:
+        return -results[0][0] if len(results) >= k else INF
+
+    def offer(d: float, oid: int) -> None:
+        if len(results) < k:
+            heapq.heappush(results, (-d, oid))
+        elif d < -results[0][0]:
+            heapq.heapreplace(results, (-d, oid))
+
+    heap: list[tuple[float, int]] = []
+    if index.count(tree.root_id) > 0:
+        heapq.heappush(heap, (0.0, tree.root_id))
+
+    while heap:
+        mind, nid = heapq.heappop(heap)
+        stats.heap_pops += 1
+        if mind > dk():
+            break
+        node = tree.nodes[nid]
+        stats.nodes_visited += 1
+        if node.is_leaf:
+            for d, oid in search.leaf_object_distances(nid, dk()):
+                offer(d, oid)
+        else:
+            for cid in node.children:
+                if index.count(cid) == 0:
+                    continue
+                if cid in search.chain_pos:
+                    child_min = 0.0
+                else:
+                    dists = search.child_distances(nid, cid)
+                    child_min = min(dists.values(), default=INF)
+                if child_min <= dk():
+                    heapq.heappush(heap, (child_min, cid))
+
+    out = sorted(((-nd, oid) for nd, oid in results))
+    return [Neighbor(object_id=oid, distance=d) for d, oid in out]

@@ -1,0 +1,59 @@
+"""Result and statistics containers for query processing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class QueryStats:
+    """Work counters exposed for the paper's Fig 9(a) style analyses."""
+
+    #: door pairs combined at the LCA (|AD(Ns)| x |AD(Nt)|)
+    pairs_considered: int = 0
+    #: superior-door pairs considered at the endpoints (VIP-Tree metric
+    #: reported in Fig 9(a))
+    superior_pairs: int = 0
+    #: tree nodes touched (kNN/range)
+    nodes_visited: int = 0
+    #: priority-queue pops (kNN/range/Dijkstra fallbacks)
+    heap_pops: int = 0
+    #: True when the query was answered by the same-leaf Dijkstra fallback
+    same_leaf: bool = False
+
+
+@dataclass(slots=True)
+class DistanceResult:
+    """Outcome of a shortest-distance query."""
+
+    distance: float
+    stats: QueryStats = field(default_factory=QueryStats)
+
+
+@dataclass(slots=True)
+class PathResult:
+    """Outcome of a shortest-path query.
+
+    ``doors`` is the ordered door sequence from source to target
+    (excluding the endpoints themselves, which are arbitrary indoor
+    points or doors). The path semantics: walk from the source to
+    ``doors[0]`` inside the source partition, then door to door (each
+    consecutive pair shares a partition), then from ``doors[-1]`` to the
+    target.
+    """
+
+    distance: float
+    doors: list[int]
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.doors)
+
+
+@dataclass(slots=True)
+class Neighbor:
+    """One kNN / range result: object id with its exact indoor distance."""
+
+    object_id: int
+    distance: float

@@ -1,0 +1,46 @@
+"""Synthetic venue generators, profiles, replication and workloads."""
+
+from .campus import build_campus
+from .mall import build_mall
+from .office import build_office
+from .profiles import (
+    CAMPUS_PROFILES,
+    MALL_PROFILES,
+    OFFICE_PROFILES,
+    PROFILES,
+    CampusProfile,
+    MallProfile,
+    OfficeProfile,
+)
+from .replicate import replicate_space
+from .stats import PAPER_TABLE2, table2, venue_row
+from .venues import VENUE_NAMES, load_venue
+from .workloads import (
+    distance_bucketed_pairs,
+    random_objects,
+    random_pairs,
+    random_point,
+)
+
+__all__ = [
+    "CAMPUS_PROFILES",
+    "CampusProfile",
+    "MALL_PROFILES",
+    "MallProfile",
+    "OFFICE_PROFILES",
+    "OfficeProfile",
+    "PAPER_TABLE2",
+    "PROFILES",
+    "VENUE_NAMES",
+    "build_campus",
+    "build_mall",
+    "build_office",
+    "distance_bucketed_pairs",
+    "load_venue",
+    "random_objects",
+    "random_pairs",
+    "random_point",
+    "replicate_space",
+    "table2",
+    "venue_row",
+]

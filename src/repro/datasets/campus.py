@@ -1,0 +1,124 @@
+"""Clayton-campus-like multi-building generator.
+
+Builds a campus of office-tower-style buildings whose ground-floor
+corridors open onto shared outdoor walkway partitions; the walkways add
+the door-to-door edges between entry/exit doors of different buildings
+exactly as the paper describes for the CL dataset (§4.1). Long corridors
+with many doors reproduce the very high out-degree (up to 400) that
+motivates the indexes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..model.builder import IndoorSpaceBuilder
+from ..model.geometry import Rect
+from ..model.indoor_space import IndoorSpace
+from .profiles import CAMPUS_PROFILES, CampusProfile, validate_profile
+
+ROOM_WIDTH = 3.5
+ROOM_DEPTH = 5.0
+HALL_WIDTH = 2.5
+BUILDING_GAP = 30.0
+#: buildings per outdoor walkway segment (keeps the outdoor cliques from
+#: dominating the edge count, like a real path network)
+BUILDINGS_PER_WALKWAY = 12
+
+
+def build_campus(
+    profile: str | CampusProfile = "small",
+    seed: int = 23,
+    name: str = "CL",
+    levels_multiplier: int = 1,
+) -> IndoorSpace:
+    """Generate a campus venue.
+
+    Args:
+        profile: a profile name or explicit :class:`CampusProfile`.
+        seed: randomizes per-building size within the profile bounds.
+        name: venue name.
+        levels_multiplier: multiplies each building's level count — used
+            to derive CL-2 (the paper replicates every building, which is
+            topologically a building of twice the height joined by
+            stairs).
+    """
+    if isinstance(profile, str):
+        profile = CAMPUS_PROFILES[validate_profile(profile)]
+    rng = random.Random(seed)
+    b = IndoorSpaceBuilder(name=name)
+
+    num_walkways = max(1, (profile.buildings + BUILDINGS_PER_WALKWAY - 1) // BUILDINGS_PER_WALKWAY)
+    walkways = [b.add_outdoor(label=f"walkway-{i}") for i in range(num_walkways)]
+
+    for bid in range(profile.buildings):
+        x_base = bid * BUILDING_GAP
+        levels = rng.randint(profile.min_levels, profile.max_levels) * levels_multiplier
+        rooms_per = rng.randint(
+            profile.min_rooms_per_corridor, profile.max_rooms_per_corridor
+        )
+        corridor_len = rooms_per / 2 * ROOM_WIDTH + ROOM_WIDTH
+
+        corridors = []
+        for level in range(levels):
+            corridor = b.add_hallway(
+                floor=level,
+                label=f"B{bid}-L{level}",
+                footprint=Rect(x_base, 0.0, x_base + corridor_len, HALL_WIDTH),
+            )
+            corridors.append(corridor)
+            for i in range(rooms_per):
+                side = 1 if i % 2 == 0 else -1
+                rx = x_base + (i // 2) * ROOM_WIDTH + ROOM_WIDTH / 2
+                ry = HALL_WIDTH if side > 0 else 0.0
+                room = b.add_room(
+                    floor=level,
+                    label=f"B{bid}-L{level}-r{i}",
+                    footprint=Rect(
+                        rx - ROOM_WIDTH / 2,
+                        ry if side > 0 else ry - ROOM_DEPTH,
+                        rx + ROOM_WIDTH / 2,
+                        ry + ROOM_DEPTH if side > 0 else ry,
+                    ),
+                )
+                b.add_door(
+                    corridor, room, x=rx + rng.uniform(-0.8, 0.8), y=ry, floor=level
+                )
+        for level in range(levels - 1):
+            b.add_staircase(
+                corridors[level],
+                corridors[level + 1],
+                x=x_base + 0.5,
+                y=HALL_WIDTH / 2,
+                floor_lower=level,
+                floor_upper=level + 1,
+            )
+            if rooms_per > 20:
+                b.add_staircase(
+                    corridors[level],
+                    corridors[level + 1],
+                    x=x_base + corridor_len - 0.5,
+                    y=HALL_WIDTH / 2,
+                    floor_lower=level,
+                    floor_upper=level + 1,
+                )
+
+        # Building entrances: ground corridor opens onto its walkway.
+        walkway = walkways[bid // BUILDINGS_PER_WALKWAY]
+        b.add_door(
+            corridors[0], walkway, x=x_base + corridor_len / 2, y=-0.5, floor=0,
+            label=f"B{bid}-entrance",
+        )
+        if rooms_per > 30:
+            b.add_door(
+                corridors[0], walkway, x=x_base + corridor_len - 1.0, y=-0.5, floor=0,
+                label=f"B{bid}-entrance-2",
+            )
+
+    # Chain walkway segments so the campus is connected, and give the
+    # first walkway a gate to the outside world.
+    for i in range(num_walkways - 1):
+        jx = (i + 1) * BUILDINGS_PER_WALKWAY * BUILDING_GAP - BUILDING_GAP / 2
+        b.add_door(walkways[i], walkways[i + 1], x=jx, y=-5.0, floor=0)
+    b.add_exterior_door(walkways[0], x=-5.0, y=-5.0, floor=0, label="campus-gate")
+    return b.build()

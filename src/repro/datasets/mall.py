@@ -1,0 +1,106 @@
+"""Melbourne-Central-like shopping mall generator.
+
+Each level is a pair of connected hallway segments lined with single-door
+shops (plus a few double-door anchor shops); escalators connect
+consecutive levels; exterior doors sit on the ground level. The layout
+reproduces the topology the paper's MC dataset exhibits: moderate-size
+hallway cliques, 7 levels, shops as no-through partitions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..model.builder import IndoorSpaceBuilder
+from ..model.entities import PartitionKind
+from ..model.geometry import Rect
+from ..model.indoor_space import IndoorSpace
+from .profiles import MALL_PROFILES, MallProfile, validate_profile
+
+SHOP_DEPTH = 6.0
+SHOP_WIDTH = 4.0
+HALL_WIDTH = 4.0
+
+
+def build_mall(
+    profile: str | MallProfile = "small",
+    seed: int = 7,
+    name: str = "MC",
+) -> IndoorSpace:
+    """Generate a mall venue.
+
+    Args:
+        profile: a profile name (``tiny``/``small``/``paper``) or an
+            explicit :class:`MallProfile`.
+        seed: jitter seed (door placement along shopfronts).
+        name: venue name for stats/benchmarks.
+    """
+    if isinstance(profile, str):
+        profile = MALL_PROFILES[validate_profile(profile)]
+    rng = random.Random(seed)
+    b = IndoorSpaceBuilder(name=name)
+
+    hall_len = profile.shops_per_hallway / 2 * SHOP_WIDTH + SHOP_WIDTH
+    level_halls: list[list[int]] = []
+    for level in range(profile.levels):
+        halls = []
+        for h in range(profile.hallways_per_level):
+            x0 = h * (hall_len + 2.0)
+            hall = b.add_hallway(
+                floor=level,
+                label=f"L{level}-hall{h}",
+                footprint=Rect(x0, 0.0, x0 + hall_len, HALL_WIDTH),
+            )
+            halls.append(hall)
+            # Shops on both sides of the hallway.
+            for i in range(profile.shops_per_hallway):
+                side = 1 if i % 2 == 0 else -1
+                sx = x0 + (i // 2) * SHOP_WIDTH + SHOP_WIDTH / 2
+                sy = HALL_WIDTH if side > 0 else 0.0
+                shop = b.add_room(
+                    floor=level,
+                    label=f"L{level}-h{h}-shop{i}",
+                    footprint=Rect(
+                        sx - SHOP_WIDTH / 2,
+                        sy if side > 0 else sy - SHOP_DEPTH,
+                        sx + SHOP_WIDTH / 2,
+                        sy + SHOP_DEPTH if side > 0 else sy,
+                    ),
+                )
+                b.add_door(
+                    hall, shop, x=sx + rng.uniform(-1.0, 1.0), y=sy, floor=level
+                )
+                # Every sixth shop is an anchor with a second door.
+                if i % 6 == 5:
+                    b.add_door(
+                        hall, shop, x=sx + rng.uniform(-1.5, 1.5), y=sy, floor=level
+                    )
+        # Join consecutive hallway segments on the level.
+        for h in range(len(halls) - 1):
+            jx = (h + 1) * (hall_len + 2.0) - 1.0
+            b.add_door(halls[h], halls[h + 1], x=jx, y=HALL_WIDTH / 2, floor=level)
+        level_halls.append(halls)
+
+    # Escalators between consecutive levels (one per hallway pair).
+    for level in range(profile.levels - 1):
+        for h in range(profile.hallways_per_level):
+            ex = h * (hall_len + 2.0) + hall_len / 2
+            esc = b.add_partition(
+                PartitionKind.ESCALATOR,
+                floor=None,
+                label=f"esc-L{level}-h{h}",
+            )
+            b.add_door(esc, level_halls[level][h], x=ex, y=HALL_WIDTH / 2, floor=level)
+            b.add_door(
+                esc, level_halls[level + 1][h], x=ex, y=HALL_WIDTH / 2, floor=level + 1
+            )
+
+    for e in range(profile.exits):
+        b.add_exterior_door(
+            level_halls[0][e % profile.hallways_per_level],
+            x=2.0 + 3.0 * e,
+            y=0.0,
+            floor=0,
+            label=f"exit-{e}",
+        )
+    return b.build()

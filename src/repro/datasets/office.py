@@ -1,0 +1,114 @@
+"""Menzies-like office tower generator.
+
+Each level is a set of corridor segments (hallway partitions) lined with
+offices; a stairwell at each end and a lift shaft in the middle connect
+the levels; exterior doors on the ground floor. Matches the topology of
+the paper's Men dataset: 14 levels, corridor cliques of a few dozen
+doors, offices as no-through or two-door partitions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..model.builder import IndoorSpaceBuilder
+from ..model.geometry import Rect
+from ..model.indoor_space import IndoorSpace
+from .profiles import OFFICE_PROFILES, OfficeProfile, validate_profile
+
+ROOM_WIDTH = 3.5
+ROOM_DEPTH = 5.0
+HALL_WIDTH = 2.5
+
+
+def build_office(
+    profile: str | OfficeProfile = "small",
+    seed: int = 11,
+    name: str = "Men",
+) -> IndoorSpace:
+    """Generate an office tower venue."""
+    if isinstance(profile, str):
+        profile = OFFICE_PROFILES[validate_profile(profile)]
+    rng = random.Random(seed)
+    b = IndoorSpaceBuilder(name=name)
+
+    corridor_len = profile.rooms_per_corridor / 2 * ROOM_WIDTH + ROOM_WIDTH
+    level_corridors: list[list[int]] = []
+    for level in range(profile.levels):
+        corridors = []
+        for c in range(profile.corridors_per_level):
+            x0 = c * (corridor_len + 2.0)
+            corridor = b.add_hallway(
+                floor=level,
+                label=f"L{level}-corr{c}",
+                footprint=Rect(x0, 0.0, x0 + corridor_len, HALL_WIDTH),
+            )
+            corridors.append(corridor)
+            prev_room = None
+            for i in range(profile.rooms_per_corridor):
+                side = 1 if i % 2 == 0 else -1
+                rx = x0 + (i // 2) * ROOM_WIDTH + ROOM_WIDTH / 2
+                ry = HALL_WIDTH if side > 0 else 0.0
+                room = b.add_room(
+                    floor=level,
+                    label=f"L{level}-c{c}-room{i}",
+                    footprint=Rect(
+                        rx - ROOM_WIDTH / 2,
+                        ry if side > 0 else ry - ROOM_DEPTH,
+                        rx + ROOM_WIDTH / 2,
+                        ry + ROOM_DEPTH if side > 0 else ry,
+                    ),
+                )
+                b.add_door(
+                    corridor, room, x=rx + rng.uniform(-0.8, 0.8), y=ry, floor=level
+                )
+                # Occasional interconnecting door between neighbouring
+                # offices on the same side (shared labs / suites).
+                if prev_room is not None and i % 7 == 3 and side > 0:
+                    b.add_door(
+                        prev_room, room, x=rx - ROOM_WIDTH / 2, y=ry + 1.0, floor=level
+                    )
+                prev_room = room if side > 0 else prev_room
+        for c in range(len(corridors) - 1):
+            jx = (c + 1) * (corridor_len + 2.0) - 1.0
+            b.add_door(corridors[c], corridors[c + 1], x=jx, y=HALL_WIDTH / 2, floor=level)
+        level_corridors.append(corridors)
+
+    # Stairwells at both ends of the first corridor, per level pair.
+    for level in range(profile.levels - 1):
+        b.add_staircase(
+            level_corridors[level][0],
+            level_corridors[level + 1][0],
+            x=0.5,
+            y=HALL_WIDTH / 2,
+            floor_lower=level,
+            floor_upper=level + 1,
+        )
+        last = profile.corridors_per_level - 1
+        b.add_staircase(
+            level_corridors[level][last],
+            level_corridors[level + 1][last],
+            x=last * (corridor_len + 2.0) + corridor_len - 0.5,
+            y=HALL_WIDTH / 2,
+            floor_lower=level,
+            floor_upper=level + 1,
+        )
+
+    # Lift shaft through all levels at the middle of corridor 0.
+    if profile.levels > 1:
+        b.add_lift(
+            [corridors[0] for corridors in level_corridors],
+            x=corridor_len / 2,
+            y=HALL_WIDTH / 2,
+            floors=list(range(profile.levels)),
+        )
+
+    for e in range(profile.exits):
+        b.add_exterior_door(
+            level_corridors[0][e % profile.corridors_per_level],
+            x=1.0 + 2.5 * e,
+            y=0.0,
+            floor=0,
+            label=f"exit-{e}",
+        )
+    return b.build()

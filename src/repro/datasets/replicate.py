@@ -1,0 +1,127 @@
+"""Vertical venue replication (Table 2's MC-2 / Men-2 / CL-2).
+
+The paper extends each real venue "by replication": a replica is placed
+on top of the original and connected with stairs. :func:`replicate_space`
+implements exactly that for any venue — partitions and doors are cloned
+with a floor offset and the copies are joined by staircases at the
+hallways of the seam floors.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import VenueError
+from ..model.entities import DEFAULT_DELTA, Door, Partition, PartitionCategory, PartitionKind
+from ..model.geometry import Point, Rect
+from ..model.indoor_space import IndoorSpace
+
+
+def replicate_space(
+    space: IndoorSpace,
+    times: int = 2,
+    connectors_per_join: int = 2,
+    name: str | None = None,
+) -> IndoorSpace:
+    """Stack ``times`` copies of a venue, joined by staircases.
+
+    Partitions and doors are cloned per copy with their floors shifted.
+    Exterior doors are cloned as-is, which preserves per-copy door counts
+    and matches how Table 2's counts double between X and X-2.
+
+    Args:
+        space: the venue to replicate.
+        times: total number of stacked copies (2 = the paper's "X-2").
+        connectors_per_join: staircases added between consecutive copies.
+        name: name of the resulting venue (default ``{space.name}-{times}``).
+    """
+    if times < 1:
+        raise VenueError(f"times must be >= 1, got {times}")
+    floors = [p.floor for p in space.partitions if p.floor is not None]
+    if not floors:
+        raise VenueError("cannot replicate a venue with no floored partitions")
+    floor_span = max(floors) - min(floors) + 1.0
+    top_floor = max(floors)
+    bottom_floor = min(floors)
+
+    partitions: list[Partition] = []
+    doors: list[Door] = []
+    for copy in range(times):
+        df = copy * floor_span
+        pid_off = copy * space.num_partitions
+        did_off = copy * space.num_doors
+        for door in space.doors:
+            doors.append(
+                Door(
+                    door_id=door.door_id + did_off,
+                    position=Point(
+                        door.position.x, door.position.y, door.position.floor + df
+                    ),
+                    label=f"{door.label}#c{copy}" if copy else door.label,
+                )
+            )
+        for part in space.partitions:
+            fp = part.footprint if isinstance(part.footprint, Rect) else None
+            partitions.append(
+                Partition(
+                    partition_id=part.partition_id + pid_off,
+                    kind=part.kind,
+                    floor=(part.floor + df) if part.floor is not None else None,
+                    door_ids=[d + did_off for d in part.door_ids],
+                    footprint=fp,
+                    fixed_traversal=part.fixed_traversal,
+                    label=f"{part.label}#c{copy}" if copy else part.label,
+                )
+            )
+
+    # Seam staircases: join hallways on the top floor of copy i with the
+    # matching hallways on the bottom floor of copy i+1.
+    top_halls = [
+        p.partition_id
+        for p in space.partitions
+        if p.floor == top_floor
+        and p.category(DEFAULT_DELTA) is PartitionCategory.HALLWAY
+        and p.kind is not PartitionKind.OUTDOOR
+    ]
+    bottom_halls = [
+        p.partition_id
+        for p in space.partitions
+        if p.floor == bottom_floor
+        and p.category(DEFAULT_DELTA) is PartitionCategory.HALLWAY
+        and p.kind is not PartitionKind.OUTDOOR
+    ]
+    if not top_halls or not bottom_halls:
+        raise VenueError("replication needs hallways on the seam floors")
+    joins = list(zip(sorted(top_halls), sorted(bottom_halls)))[:connectors_per_join]
+
+    for copy in range(times - 1):
+        df_low = copy * floor_span
+        df_high = (copy + 1) * floor_span
+        pid_low = copy * space.num_partitions
+        pid_high = (copy + 1) * space.num_partitions
+        for upper_pid, lower_pid in joins:
+            upper = upper_pid + pid_low
+            lower = lower_pid + pid_high
+            anchor = space.doors[space.partitions[upper_pid].door_ids[0]].position
+            stair_pid = len(partitions)
+            partitions.append(
+                Partition(
+                    partition_id=stair_pid,
+                    kind=PartitionKind.STAIRCASE,
+                    floor=None,
+                    door_ids=[],
+                    label=f"seam-stairs-c{copy}-{upper_pid}",
+                )
+            )
+            for pid, floor in ((upper, top_floor + df_low), (lower, bottom_floor + df_high)):
+                did = len(doors)
+                doors.append(
+                    Door(door_id=did, position=Point(anchor.x, anchor.y, floor))
+                )
+                partitions[stair_pid].door_ids.append(did)
+                partitions[pid].door_ids.append(did)
+
+    return IndoorSpace(
+        partitions=partitions,
+        doors=doors,
+        floor_height=space.floor_height,
+        name=name or f"{space.name}-{times}",
+    )

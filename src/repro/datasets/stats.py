@@ -1,0 +1,46 @@
+"""Venue statistics — regenerates the paper's Table 2."""
+
+from __future__ import annotations
+
+from ..model.d2d import average_out_degree, build_d2d_graph
+from ..model.indoor_space import IndoorSpace
+from .venues import VENUE_NAMES, load_venue
+
+#: Table 2 of the paper, for side-by-side reporting.
+PAPER_TABLE2 = {
+    "MC": {"doors": 299, "rooms": 297, "edges": 8_466},
+    "MC-2": {"doors": 600, "rooms": 597, "edges": 16_933},
+    "Men": {"doors": 1_368, "rooms": 1_306, "edges": 56_035},
+    "Men-2": {"doors": 2_738, "rooms": 2_613, "edges": 112_114},
+    "CL": {"doors": 41_392, "rooms": 41_100, "edges": 6_700_272},
+    "CL-2": {"doors": 83_138, "rooms": 82_540, "edges": 13_400_884},
+}
+
+
+def venue_row(space: IndoorSpace) -> dict:
+    """Table 2 row for one venue (measured)."""
+    stats = space.stats()
+    d2d = build_d2d_graph(space)
+    return {
+        "name": stats.name,
+        "doors": stats.num_doors,
+        "rooms": stats.num_rooms,
+        "edges": stats.num_d2d_edges,
+        "floors": stats.num_floors,
+        "avg_out_degree": round(average_out_degree(d2d), 1),
+        "max_partition_degree": stats.max_partition_degree,
+    }
+
+
+def table2(profile: str = "small") -> list[dict]:
+    """Measured Table 2 over all six venues at the given profile, with
+    the paper's numbers attached for comparison."""
+    rows = []
+    for name in VENUE_NAMES:
+        row = venue_row(load_venue(name, profile))
+        paper = PAPER_TABLE2[name]
+        row["paper_doors"] = paper["doors"]
+        row["paper_rooms"] = paper["rooms"]
+        row["paper_edges"] = paper["edges"]
+        rows.append(row)
+    return rows

@@ -1,0 +1,53 @@
+"""Named venue registry: the six venues of Table 2.
+
+``load_venue(name, profile)`` produces MC, MC-2, Men, Men-2, CL and CL-2
+at one of three size profiles. MC-2 and Men-2 are true replications
+(a copy stacked on top, joined by stairs — exactly the paper's
+construction); CL-2 doubles each building's height, which is the same
+topology the paper obtains by replicating every building.
+"""
+
+from __future__ import annotations
+
+from ..model.indoor_space import IndoorSpace
+from .campus import build_campus
+from .mall import build_mall
+from .office import build_office
+from .profiles import validate_profile
+from .replicate import replicate_space
+
+VENUE_NAMES = ("MC", "MC-2", "Men", "Men-2", "CL", "CL-2")
+
+
+def load_venue(name: str, profile: str = "small", seed: int | None = None) -> IndoorSpace:
+    """Build one of the paper's venues.
+
+    Args:
+        name: one of ``MC``, ``MC-2``, ``Men``, ``Men-2``, ``CL``, ``CL-2``.
+        profile: size profile (``tiny``/``small``/``paper``).
+        seed: optional generator seed override.
+
+    Raises:
+        ValueError: on unknown venue or profile names.
+    """
+    validate_profile(profile)
+    if name == "MC":
+        return build_mall(profile, seed=7 if seed is None else seed, name="MC")
+    if name == "MC-2":
+        base = build_mall(profile, seed=7 if seed is None else seed, name="MC")
+        return replicate_space(base, times=2, name="MC-2")
+    if name == "Men":
+        return build_office(profile, seed=11 if seed is None else seed, name="Men")
+    if name == "Men-2":
+        base = build_office(profile, seed=11 if seed is None else seed, name="Men")
+        return replicate_space(base, times=2, name="Men-2")
+    if name == "CL":
+        return build_campus(profile, seed=23 if seed is None else seed, name="CL")
+    if name == "CL-2":
+        return build_campus(
+            profile,
+            seed=23 if seed is None else seed,
+            name="CL-2",
+            levels_multiplier=2,
+        )
+    raise ValueError(f"unknown venue {name!r}; expected one of {VENUE_NAMES}")

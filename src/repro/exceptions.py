@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single type at API boundaries while tests can assert the precise
+failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class VenueError(ReproError):
+    """An indoor venue description is structurally invalid.
+
+    Raised when doors reference unknown partitions, a door is attached to
+    more than two partitions, a partition has no doors, or ids collide.
+    """
+
+
+class DisconnectedVenueError(VenueError):
+    """The door-to-door graph of a venue is not connected.
+
+    The paper's indexes (and the baselines) assume a connected indoor
+    space: every pair of doors must be mutually reachable.
+    """
+
+
+class QueryError(ReproError):
+    """A query is malformed (unknown partition/door, non-positive k, ...)."""
+
+
+class ConstructionError(ReproError):
+    """Index construction failed (e.g. invalid minimum degree)."""

@@ -1,0 +1,19 @@
+"""Graph algorithms substrate: adjacency lists, Dijkstra, partitioning."""
+
+from .adjacency import Graph
+from .dijkstra import (
+    INF,
+    dijkstra,
+    dijkstra_first_hops,
+    path_from_parents,
+    pseudo_diameter,
+)
+
+__all__ = [
+    "Graph",
+    "INF",
+    "dijkstra",
+    "dijkstra_first_hops",
+    "path_from_parents",
+    "pseudo_diameter",
+]

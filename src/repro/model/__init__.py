@@ -1,0 +1,53 @@
+"""Indoor space substrate: entities, venues, D2D/AB graphs, objects, IO."""
+
+from .ab_graph import ABGraph, build_ab_graph
+from .builder import IndoorSpaceBuilder
+from .d2d import average_out_degree, build_d2d_graph
+from .entities import (
+    DEFAULT_DELTA,
+    Door,
+    IndoorPoint,
+    Partition,
+    PartitionCategory,
+    PartitionKind,
+)
+from .geometry import DEFAULT_FLOOR_HEIGHT, Point, Rect, euclidean
+from .indoor_space import IndoorSpace, VenueStats
+from .io_json import (
+    load_space,
+    objects_from_dict,
+    objects_to_dict,
+    save_space,
+    space_from_dict,
+    space_to_dict,
+)
+from .objects import IndoorObject, ObjectSet, make_object_set
+
+__all__ = [
+    "ABGraph",
+    "DEFAULT_DELTA",
+    "DEFAULT_FLOOR_HEIGHT",
+    "Door",
+    "IndoorObject",
+    "IndoorPoint",
+    "IndoorSpace",
+    "IndoorSpaceBuilder",
+    "ObjectSet",
+    "Partition",
+    "PartitionCategory",
+    "PartitionKind",
+    "Point",
+    "Rect",
+    "VenueStats",
+    "average_out_degree",
+    "build_ab_graph",
+    "build_d2d_graph",
+    "euclidean",
+    "load_space",
+    "make_object_set",
+    "objects_from_dict",
+    "objects_to_dict",
+    "save_space",
+    "space_from_dict",
+    "space_to_dict",
+]

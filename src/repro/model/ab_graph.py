@@ -1,0 +1,55 @@
+"""Accessibility-base (AB) graph [Lu et al., reference 19].
+
+In an AB graph each indoor partition is a vertex and each door is a
+labelled edge between the two partitions it connects (§1.2.2, Fig. 2(b)).
+The AB graph captures connectivity but not indoor distances; the library
+uses it for venue analysis, the DistAw baseline's accessibility
+reasoning, and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .indoor_space import IndoorSpace
+
+
+@dataclass(slots=True)
+class ABGraph:
+    """Partition-level connectivity graph with door-labelled edges."""
+
+    num_partitions: int
+    #: adjacency: partition -> list of (neighbour partition, door id).
+    #: Parallel edges are kept (two doors between the same pair of
+    #: partitions produce two labelled edges, as in the paper's Fig 2(b)).
+    adjacency: list[list[tuple[int, int]]] = field(default_factory=list)
+    #: doors connecting a partition to the outside world
+    exterior_doors: list[list[int]] = field(default_factory=list)
+
+    def neighbors(self, partition_id: int) -> list[tuple[int, int]]:
+        return self.adjacency[partition_id]
+
+    def edge_count(self) -> int:
+        """Number of door-edges (each interior door counted once)."""
+        return sum(len(a) for a in self.adjacency) // 2
+
+    def degree(self, partition_id: int) -> int:
+        return len(self.adjacency[partition_id])
+
+
+def build_ab_graph(space: IndoorSpace) -> ABGraph:
+    """Build the AB graph of a venue."""
+    adjacency: list[list[tuple[int, int]]] = [[] for _ in range(space.num_partitions)]
+    exterior: list[list[int]] = [[] for _ in range(space.num_partitions)]
+    for did, owners in enumerate(space.door_partitions):
+        if len(owners) == 2:
+            a, b = owners
+            adjacency[a].append((b, did))
+            adjacency[b].append((a, did))
+        else:
+            exterior[owners[0]].append(did)
+    return ABGraph(
+        num_partitions=space.num_partitions,
+        adjacency=adjacency,
+        exterior_doors=exterior,
+    )

@@ -1,0 +1,118 @@
+"""Indoor entities: doors, partitions and their paper-defined categories.
+
+Terminology follows §2 of the paper:
+
+* A partition with exactly one door is a **no-through** partition (no
+  shortest path can pass through it).
+* A partition with more than ``delta`` doors is a **hallway** partition
+  (δ is a small system parameter; the paper uses δ = 4).
+* Everything else is a **general** partition. Staircases / escalators are
+  general partitions with two doors on their connecting floors; a lift
+  spanning n floors is modelled as n-1 general partitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .geometry import Point
+
+#: Paper default for the hallway threshold δ (§2: "we choose δ = 4").
+DEFAULT_DELTA = 4
+
+
+class PartitionKind(str, enum.Enum):
+    """Physical flavour of a partition (tagging only; semantics derive
+    from the door count via :class:`PartitionCategory`)."""
+
+    ROOM = "room"
+    HALLWAY = "hallway"
+    STAIRCASE = "staircase"
+    LIFT = "lift"
+    ESCALATOR = "escalator"
+    OUTDOOR = "outdoor"
+
+
+class PartitionCategory(str, enum.Enum):
+    """Paper §2 categories derived from the number of doors and δ."""
+
+    NO_THROUGH = "no-through"
+    GENERAL = "general"
+    HALLWAY = "hallway"
+
+
+@dataclass(slots=True)
+class Door:
+    """A door connecting one or two partitions.
+
+    A door with a single adjacent partition is an *exterior* door: it
+    connects the venue to the outside world and therefore counts as an
+    access door of every tree node containing its partition (this is how
+    the paper's running example obtains ``AD(N7) = {d1, d7, d20}``).
+
+    Attributes:
+        door_id: dense integer id (index into ``IndoorSpace.doors``).
+        position: coordinates of the door.
+        label: optional human-readable name.
+    """
+
+    door_id: int
+    position: Point
+    label: str = ""
+
+
+@dataclass(slots=True)
+class Partition:
+    """An indoor partition (room, hallway, staircase, lift, outdoor area).
+
+    Attributes:
+        partition_id: dense integer id (index into
+            ``IndoorSpace.partitions``).
+        kind: physical flavour tag.
+        floor: floor number for single-floor partitions; ``None`` for
+            partitions spanning several floors (staircases, lifts).
+        door_ids: ids of the doors attached to this partition.
+        footprint: optional bounding rectangle (used for sampling points).
+        fixed_traversal: if not ``None``, the distance between *any* two
+            doors of this partition is this constant instead of the
+            Euclidean distance — used for lifts (e.g. travel time) per §2
+            ("set to zero for a lift/escalator ... or to a non-zero value
+            if the distance is the travel time").
+        label: optional human-readable name.
+    """
+
+    partition_id: int
+    kind: PartitionKind = PartitionKind.ROOM
+    floor: float | None = 0.0
+    door_ids: list[int] = field(default_factory=list)
+    footprint: object | None = None  # Optional[Rect]; kept loose for JSON IO
+    fixed_traversal: float | None = None
+    label: str = ""
+
+    def category(self, delta: int = DEFAULT_DELTA) -> PartitionCategory:
+        """Classify per §2 of the paper given the hallway threshold δ."""
+        n = len(self.door_ids)
+        if n <= 1:
+            return PartitionCategory.NO_THROUGH
+        if n > delta:
+            return PartitionCategory.HALLWAY
+        return PartitionCategory.GENERAL
+
+
+@dataclass(frozen=True, slots=True)
+class IndoorPoint:
+    """An arbitrary location inside a partition — query source/target.
+
+    The paper's queries take arbitrary indoor points s and t; a point is
+    identified by its containing partition plus planar coordinates. The
+    floor is implied by the partition.
+    """
+
+    partition_id: int
+    x: float
+    y: float
+
+    def position(self, floor: float) -> Point:
+        """Materialize as a :class:`Point` on the given floor."""
+        return Point(self.x, self.y, floor)

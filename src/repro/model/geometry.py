@@ -1,0 +1,106 @@
+"""Geometric primitives for indoor venues.
+
+Indoor entities live in a 2.5-D coordinate system, following §4.1 of the
+paper: the first two coordinates are planar x/y positions and the third is
+the floor number. Metric distances convert the floor number to a vertical
+offset via a per-venue ``floor_height``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Default vertical distance between two consecutive floors, in metres.
+DEFAULT_FLOOR_HEIGHT = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the indoor coordinate system.
+
+    Attributes:
+        x: planar x coordinate in metres.
+        y: planar y coordinate in metres.
+        floor: floor number (0 = ground). Fractional floors are allowed
+            for entities such as mid-landing staircase doors.
+    """
+
+    x: float
+    y: float
+    floor: float = 0.0
+
+    def planar_distance(self, other: "Point") -> float:
+        """Euclidean distance ignoring the floor component."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance(self, other: "Point", floor_height: float = DEFAULT_FLOOR_HEIGHT) -> float:
+        """3-D Euclidean distance with floors scaled by ``floor_height``."""
+        dz = (self.floor - other.floor) * floor_height
+        return math.sqrt(
+            (self.x - other.x) ** 2 + (self.y - other.y) ** 2 + dz * dz
+        )
+
+    def translated(self, dx: float = 0.0, dy: float = 0.0, dfloor: float = 0.0) -> "Point":
+        """Return a copy of this point shifted by the given offsets."""
+        return Point(self.x + dx, self.y + dy, self.floor + dfloor)
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned rectangle on a single floor.
+
+    Used by venue generators to describe partition footprints and to sample
+    uniformly distributed query points inside a partition.
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0)
+
+    def contains(self, x: float, y: float) -> bool:
+        """Whether the point (x, y) lies inside or on the boundary."""
+        return self.x_min <= x <= self.x_max and self.y_min <= y <= self.y_max
+
+    def sample(self, rng) -> tuple[float, float]:
+        """Sample a uniform point inside the rectangle.
+
+        Args:
+            rng: a ``random.Random`` instance (determinism is the caller's
+                responsibility — pass a seeded generator).
+        """
+        return (
+            self.x_min + rng.random() * self.width,
+            self.y_min + rng.random() * self.height,
+        )
+
+    def translated(self, dx: float = 0.0, dy: float = 0.0) -> "Rect":
+        return Rect(self.x_min + dx, self.y_min + dy, self.x_max + dx, self.y_max + dy)
+
+
+def euclidean(
+    a: Point, b: Point, floor_height: float = DEFAULT_FLOOR_HEIGHT
+) -> float:
+    """Convenience wrapper for :meth:`Point.distance`."""
+    return a.distance(b, floor_height)

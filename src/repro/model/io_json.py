@@ -1,0 +1,130 @@
+"""JSON serialization for venues and object sets.
+
+Venues round-trip losslessly (ids, kinds, footprints, fixed traversal
+weights). The format is a stable, versioned document so saved venues can
+be shared between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..exceptions import VenueError
+from .entities import Door, IndoorPoint, Partition, PartitionKind
+from .geometry import Point, Rect
+from .indoor_space import IndoorSpace
+from .objects import IndoorObject, ObjectSet
+
+FORMAT_VERSION = 1
+
+
+def space_to_dict(space: IndoorSpace) -> dict:
+    """Serialize a venue to a JSON-compatible dictionary."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": space.name,
+        "floor_height": space.floor_height,
+        "doors": [
+            {
+                "id": d.door_id,
+                "x": d.position.x,
+                "y": d.position.y,
+                "floor": d.position.floor,
+                "label": d.label,
+            }
+            for d in space.doors
+        ],
+        "partitions": [
+            {
+                "id": p.partition_id,
+                "kind": p.kind.value,
+                "floor": p.floor,
+                "doors": list(p.door_ids),
+                "footprint": (
+                    [p.footprint.x_min, p.footprint.y_min, p.footprint.x_max, p.footprint.y_max]
+                    if isinstance(p.footprint, Rect)
+                    else None
+                ),
+                "fixed_traversal": p.fixed_traversal,
+                "label": p.label,
+            }
+            for p in space.partitions
+        ],
+    }
+
+
+def space_from_dict(data: dict) -> IndoorSpace:
+    """Deserialize a venue; raises :class:`VenueError` on bad documents."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise VenueError(f"unsupported venue format version: {version!r}")
+    doors = [
+        Door(
+            door_id=d["id"],
+            position=Point(d["x"], d["y"], d.get("floor", 0.0)),
+            label=d.get("label", ""),
+        )
+        for d in data["doors"]
+    ]
+    partitions = []
+    for p in data["partitions"]:
+        fp = p.get("footprint")
+        partitions.append(
+            Partition(
+                partition_id=p["id"],
+                kind=PartitionKind(p.get("kind", "room")),
+                floor=p.get("floor"),
+                door_ids=list(p["doors"]),
+                footprint=Rect(*fp) if fp else None,
+                fixed_traversal=p.get("fixed_traversal"),
+                label=p.get("label", ""),
+            )
+        )
+    return IndoorSpace(
+        partitions=partitions,
+        doors=doors,
+        floor_height=data.get("floor_height", 4.0),
+        name=data.get("name", "venue"),
+    )
+
+
+def save_space(space: IndoorSpace, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(space_to_dict(space)))
+
+
+def load_space(path: str | Path) -> IndoorSpace:
+    return space_from_dict(json.loads(Path(path).read_text()))
+
+
+def objects_to_dict(objects: ObjectSet) -> dict:
+    return {
+        "version": FORMAT_VERSION,
+        "objects": [
+            {
+                "id": o.object_id,
+                "partition": o.location.partition_id,
+                "x": o.location.x,
+                "y": o.location.y,
+                "label": o.label,
+                "category": o.category,
+            }
+            for o in objects
+        ],
+    }
+
+
+def objects_from_dict(data: dict) -> ObjectSet:
+    if data.get("version") != FORMAT_VERSION:
+        raise VenueError(f"unsupported object format version: {data.get('version')!r}")
+    return ObjectSet(
+        [
+            IndoorObject(
+                object_id=o["id"],
+                location=IndoorPoint(o["partition"], o["x"], o["y"]),
+                label=o.get("label", ""),
+                category=o.get("category", ""),
+            )
+            for o in data["objects"]
+        ]
+    )

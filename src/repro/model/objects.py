@@ -1,0 +1,84 @@
+"""Indoor objects (points of interest) for kNN and range queries.
+
+The paper's §3.4 queries operate over a set of objects O embedded in the
+venue (washrooms in the experiments; ATMs, charging kiosks etc. in the
+motivation). Objects are plain indoor points with labels, grouped into an
+:class:`ObjectSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import QueryError
+from .entities import IndoorPoint
+from .indoor_space import IndoorSpace
+
+
+@dataclass(frozen=True, slots=True)
+class IndoorObject:
+    """A point of interest inside a partition."""
+
+    object_id: int
+    location: IndoorPoint
+    label: str = ""
+    category: str = ""
+
+
+@dataclass(slots=True)
+class ObjectSet:
+    """A collection of indoor objects, validated against a venue."""
+
+    objects: list[IndoorObject] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self):
+        return iter(self.objects)
+
+    def __getitem__(self, idx: int) -> IndoorObject:
+        return self.objects[idx]
+
+    def validate(self, space: IndoorSpace) -> None:
+        """Check ids are dense and partitions exist."""
+        for i, obj in enumerate(self.objects):
+            if obj.object_id != i:
+                raise QueryError(f"object id {obj.object_id} does not match index {i}")
+            space.validate_point(obj.location)
+
+    def by_category(self, category: str) -> "ObjectSet":
+        """Filtered (re-indexed) subset — the paper's adaptability hook
+        for keyword-style filtering (§1.3 'High adaptability')."""
+        subset = [o for o in self.objects if o.category == category]
+        return ObjectSet(
+            [
+                IndoorObject(i, o.location, o.label, o.category)
+                for i, o in enumerate(subset)
+            ]
+        )
+
+    def partitions(self) -> set[int]:
+        return {o.location.partition_id for o in self.objects}
+
+
+def make_object_set(
+    space: IndoorSpace,
+    locations: list[IndoorPoint],
+    labels: list[str] | None = None,
+    category: str = "",
+) -> ObjectSet:
+    """Build and validate an :class:`ObjectSet` from raw locations."""
+    objs = ObjectSet(
+        [
+            IndoorObject(
+                i,
+                loc,
+                (labels[i] if labels else f"object-{i}"),
+                category,
+            )
+            for i, loc in enumerate(locations)
+        ]
+    )
+    objs.validate(space)
+    return objs

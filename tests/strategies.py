@@ -1,0 +1,108 @@
+"""Hypothesis strategies generating random (but always valid) venues.
+
+Venues are built through the public builder so every generated space is
+structurally valid and connected; shapes cover 1-3 floors, 1-3 hallways
+per floor, rooms with one or two doors, staircases and optional lifts —
+the full vocabulary the indexes must handle.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro import IndoorSpaceBuilder
+
+
+def build_random_venue(
+    seed: int,
+    floors: int,
+    halls_per_floor: int,
+    rooms_per_hall: int,
+    extra_door_rate: float,
+    with_lift: bool,
+):
+    rng = random.Random(seed)
+    b = IndoorSpaceBuilder(name=f"hyp-{seed}")
+    floor_halls: list[list[int]] = []
+    all_rooms: list[int] = []
+    for f in range(floors):
+        halls = []
+        for h in range(halls_per_floor):
+            x0 = h * (rooms_per_hall * 2.0 + 6.0)
+            hall = b.add_hallway(floor=f, label=f"F{f}H{h}")
+            halls.append(hall)
+            prev = None
+            for i in range(rooms_per_hall):
+                room = b.add_room(floor=f, label=f"F{f}H{h}R{i}")
+                all_rooms.append(room)
+                b.add_door(
+                    hall,
+                    room,
+                    x=x0 + 1.0 + i * 2.0 + rng.uniform(-0.4, 0.4),
+                    y=1.0,
+                    floor=f,
+                )
+                if rng.random() < extra_door_rate:
+                    # second door: either back to the hallway or into the
+                    # previous room
+                    if prev is not None and rng.random() < 0.5:
+                        b.add_door(prev, room, x=x0 + i * 2.0, y=2.0, floor=f)
+                    else:
+                        b.add_door(
+                            hall, room, x=x0 + 1.3 + i * 2.0, y=1.0, floor=f
+                        )
+                prev = room
+        for h in range(len(halls) - 1):
+            b.add_door(
+                halls[h],
+                halls[h + 1],
+                x=(h + 1) * (rooms_per_hall * 2.0 + 6.0) - 2.0,
+                y=0.5,
+                floor=f,
+            )
+        floor_halls.append(halls)
+    for f in range(floors - 1):
+        b.add_staircase(
+            floor_halls[f][0],
+            floor_halls[f + 1][0],
+            x=0.2,
+            y=0.2,
+            floor_lower=f,
+            floor_upper=f + 1,
+        )
+        if rng.random() < 0.5 and halls_per_floor > 1:
+            b.add_staircase(
+                floor_halls[f][-1],
+                floor_halls[f + 1][-1],
+                x=halls_per_floor * (rooms_per_hall * 2.0 + 6.0) - 1.0,
+                y=0.2,
+                floor_lower=f,
+                floor_upper=f + 1,
+            )
+    if with_lift and floors > 1:
+        b.add_lift(
+            [halls[0] for halls in floor_halls],
+            x=2.5,
+            y=0.1,
+            floors=[float(f) for f in range(floors)],
+        )
+    for e in range(rng.randint(1, 2)):
+        b.add_exterior_door(floor_halls[0][0], x=-1.0 - e, y=0.0, floor=0)
+    space = b.build()
+    space.fixture_rooms = [all_rooms]
+    return space
+
+
+@st.composite
+def venues(draw):
+    """A random connected venue plus its generation parameters."""
+    return build_random_venue(
+        seed=draw(st.integers(0, 2**16)),
+        floors=draw(st.integers(1, 3)),
+        halls_per_floor=draw(st.integers(1, 3)),
+        rooms_per_hall=draw(st.integers(2, 7)),
+        extra_door_rate=draw(st.sampled_from([0.0, 0.2, 0.5])),
+        with_lift=draw(st.booleans()),
+    )

@@ -1,0 +1,57 @@
+"""Public API surface: imports resolve, exceptions nest, version set."""
+
+import pytest
+
+import repro
+from repro import (
+    ConstructionError,
+    DisconnectedVenueError,
+    QueryError,
+    ReproError,
+    VenueError,
+)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    assert repro.__version__.count(".") == 2
+
+
+def test_exception_hierarchy():
+    assert issubclass(VenueError, ReproError)
+    assert issubclass(DisconnectedVenueError, VenueError)
+    assert issubclass(QueryError, ReproError)
+    assert issubclass(ConstructionError, ReproError)
+
+
+def test_subpackages_importable():
+    import repro.baselines
+    import repro.bench
+    import repro.core
+    import repro.datasets
+    import repro.graph
+    import repro.model
+
+    for mod in (repro.baselines, repro.bench, repro.core, repro.datasets,
+                repro.graph, repro.model):
+        for name in mod.__all__:
+            assert hasattr(mod, name), (mod.__name__, name)
+
+
+def test_quickstart_docstring_example():
+    """The README/docstring snippet actually works."""
+    from repro import IndoorPoint, IndoorSpaceBuilder, VIPTree
+
+    b = IndoorSpaceBuilder(name="tiny")
+    hall = b.add_hallway(floor=0)
+    office = b.add_room(floor=0)
+    d0 = b.add_exterior_door(hall, x=0, y=0)
+    b.add_door(hall, office, x=5, y=0)
+    space = b.build()
+    tree = VIPTree.build(space)
+    dist = tree.shortest_distance(IndoorPoint(office, 6.0, 1.0), d0)
+    assert dist == pytest.approx(1.0 + 5.0 + 1.0, abs=1.0)

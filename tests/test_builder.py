@@ -1,0 +1,145 @@
+"""Unit tests for the venue builder."""
+
+import pytest
+
+from repro import IndoorSpaceBuilder, PartitionKind, VenueError
+
+
+class TestPartitions:
+    def test_ids_are_dense(self):
+        b = IndoorSpaceBuilder()
+        assert b.add_room() == 0
+        assert b.add_hallway() == 1
+        assert b.add_outdoor() == 2
+
+    def test_kind_helpers(self):
+        b = IndoorSpaceBuilder()
+        r, h, o = b.add_room(), b.add_hallway(), b.add_outdoor()
+        b.add_door(r, h, 0, 0)
+        b.add_door(h, o, 1, 0)
+        b.add_exterior_door(o, 2, 0)
+        space = b.build()
+        assert space.partitions[r].kind is PartitionKind.ROOM
+        assert space.partitions[h].kind is PartitionKind.HALLWAY
+        assert space.partitions[o].kind is PartitionKind.OUTDOOR
+
+    def test_default_labels(self):
+        b = IndoorSpaceBuilder()
+        r = b.add_room()
+        b.add_exterior_door(r, 0, 0)
+        assert "room" in b.build().partitions[r].label
+
+
+class TestDoors:
+    def test_door_wiring(self):
+        b = IndoorSpaceBuilder()
+        a, c = b.add_room(), b.add_room()
+        d = b.add_door(a, c, x=1.0, y=2.0)
+        space = b.build()
+        assert d in space.partitions[a].door_ids
+        assert d in space.partitions[c].door_ids
+        assert space.partitions_of_door(d) == (a, c)
+
+    def test_door_floor_defaults_to_first_partition(self):
+        b = IndoorSpaceBuilder()
+        a = b.add_room(floor=3)
+        c = b.add_room(floor=3)
+        d = b.add_door(a, c, x=0, y=0)
+        assert b.build().doors[d].position.floor == 3
+
+    def test_door_explicit_floor(self):
+        b = IndoorSpaceBuilder()
+        a = b.add_room(floor=0)
+        c = b.add_room(floor=0)
+        d = b.add_door(a, c, x=0, y=0, floor=2.5)
+        assert b.build().doors[d].position.floor == 2.5
+
+    def test_self_door_raises(self):
+        b = IndoorSpaceBuilder()
+        a = b.add_room()
+        with pytest.raises(VenueError):
+            b.add_door(a, a, 0, 0)
+
+    def test_unknown_partition_raises(self):
+        b = IndoorSpaceBuilder()
+        a = b.add_room()
+        with pytest.raises(VenueError):
+            b.add_door(a, 99, 0, 0)
+        with pytest.raises(VenueError):
+            b.add_exterior_door(42, 0, 0)
+
+    def test_exterior_door_single_owner(self):
+        b = IndoorSpaceBuilder()
+        a = b.add_room()
+        d = b.add_exterior_door(a, 0, 0)
+        space = b.build()
+        assert space.is_exterior_door(d)
+
+
+class TestVerticalConnectors:
+    def test_staircase_creates_two_door_partition(self):
+        b = IndoorSpaceBuilder()
+        lo, hi = b.add_hallway(floor=0), b.add_hallway(floor=1)
+        b.add_exterior_door(lo, 0, 0)
+        # hallways need >delta doors to count as hallways; irrelevant here
+        stair = b.add_staircase(lo, hi, x=1, y=1, floor_lower=0, floor_upper=1)
+        space = b.build()
+        part = space.partitions[stair]
+        assert part.kind is PartitionKind.STAIRCASE
+        assert len(part.door_ids) == 2
+        floors = sorted(space.doors[d].position.floor for d in part.door_ids)
+        assert floors == [0, 1]
+
+    def test_staircase_multiplier_sets_fixed_traversal(self):
+        b = IndoorSpaceBuilder(floor_height=4.0)
+        lo, hi = b.add_room(floor=0), b.add_room(floor=1)
+        b.add_exterior_door(lo, 0, 0)
+        stair = b.add_staircase(
+            lo, hi, x=1, y=1, floor_lower=0, floor_upper=1, length_multiplier=2.0
+        )
+        assert b.build().partitions[stair].fixed_traversal == pytest.approx(8.0)
+
+    def test_staircase_default_is_euclidean(self):
+        b = IndoorSpaceBuilder()
+        lo, hi = b.add_room(floor=0), b.add_room(floor=1)
+        b.add_exterior_door(lo, 0, 0)
+        stair = b.add_staircase(lo, hi, x=1, y=1, floor_lower=0, floor_upper=1)
+        assert b.build().partitions[stair].fixed_traversal is None
+
+    def test_lift_creates_n_minus_1_segments(self):
+        b = IndoorSpaceBuilder()
+        halls = [b.add_hallway(floor=f) for f in range(4)]
+        b.add_exterior_door(halls[0], 0, 0)
+        for f in range(3):
+            b.add_staircase(halls[f], halls[f + 1], x=9, y=9, floor_lower=f, floor_upper=f + 1)
+        segs = b.add_lift(halls, x=0, y=0, floors=[0.0, 1.0, 2.0, 3.0], travel_weight=1.5)
+        space = b.build()
+        assert len(segs) == 3
+        for seg in segs:
+            assert space.partitions[seg].kind is PartitionKind.LIFT
+            assert space.partitions[seg].fixed_traversal == 1.5
+            assert len(space.partitions[seg].door_ids) == 2
+
+    def test_lift_argument_mismatch_raises(self):
+        b = IndoorSpaceBuilder()
+        a = b.add_room(floor=0)
+        with pytest.raises(VenueError):
+            b.add_lift([a], x=0, y=0, floors=[0.0])
+        with pytest.raises(VenueError):
+            b.add_lift([a, a], x=0, y=0, floors=[0.0])
+
+
+class TestBuild:
+    def test_build_validates(self):
+        b = IndoorSpaceBuilder()
+        b.add_room()  # no doors
+        with pytest.raises(VenueError):
+            b.build()
+
+    def test_build_passes_metadata(self):
+        b = IndoorSpaceBuilder(name="meta", floor_height=3.2)
+        r = b.add_room()
+        b.add_exterior_door(r, 0, 0)
+        space = b.build()
+        assert space.name == "meta"
+        assert space.floor_height == 3.2

@@ -1,0 +1,130 @@
+"""Dataset generators, profiles, replication and the Table 2 harness."""
+
+import pytest
+
+from repro import VenueError, build_d2d_graph
+from repro.datasets import (
+    PAPER_TABLE2,
+    VENUE_NAMES,
+    build_campus,
+    build_mall,
+    build_office,
+    load_venue,
+    replicate_space,
+    venue_row,
+)
+from repro.model.entities import PartitionKind
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("builder", [build_mall, build_office, build_campus])
+    def test_valid_and_connected(self, builder):
+        space = builder("tiny")
+        build_d2d_graph(space)  # raises if disconnected
+
+    @pytest.mark.parametrize("builder", [build_mall, build_office, build_campus])
+    def test_deterministic_by_seed(self, builder):
+        a = builder("tiny", seed=5)
+        b = builder("tiny", seed=5)
+        assert a.num_doors == b.num_doors
+        assert [d.position for d in a.doors] == [d.position for d in b.doors]
+
+    @pytest.mark.parametrize("builder", [build_mall, build_office, build_campus])
+    def test_seed_changes_layout(self, builder):
+        a = builder("tiny", seed=1)
+        b = builder("tiny", seed=2)
+        assert [d.position for d in a.doors] != [d.position for d in b.doors]
+
+    @pytest.mark.parametrize("builder", [build_mall, build_office, build_campus])
+    def test_profiles_scale(self, builder):
+        tiny = builder("tiny").num_doors
+        small = builder("small").num_doors
+        assert tiny < small
+
+    def test_mall_has_exterior_doors(self):
+        space = build_mall("tiny")
+        assert any(space.is_exterior_door(d) for d in range(space.num_doors))
+
+    def test_office_has_lift_and_stairs(self):
+        space = build_office("tiny")
+        kinds = {p.kind for p in space.partitions}
+        assert PartitionKind.LIFT in kinds
+        assert PartitionKind.STAIRCASE in kinds
+
+    def test_campus_walkways_connect_buildings(self):
+        space = build_campus("tiny")
+        outdoor = [p for p in space.partitions if p.kind is PartitionKind.OUTDOOR]
+        assert outdoor
+        # each walkway holds the entrance doors of several buildings
+        assert max(len(p.door_ids) for p in outdoor) >= 3
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            build_mall("enormous")
+
+
+class TestVenueRegistry:
+    @pytest.mark.parametrize("name", VENUE_NAMES)
+    def test_all_venues_load(self, name):
+        space = load_venue(name, "tiny")
+        assert space.name == name
+        build_d2d_graph(space)
+
+    def test_unknown_venue_raises(self):
+        with pytest.raises(ValueError):
+            load_venue("Narnia")
+
+    def test_replicated_roughly_doubles(self):
+        base = load_venue("MC", "tiny")
+        double = load_venue("MC-2", "tiny")
+        assert double.num_doors >= 2 * base.num_doors
+        assert double.num_doors <= 2 * base.num_doors + 10  # seam stairs
+
+    def test_cl2_doubles_levels(self):
+        base = load_venue("CL", "tiny").stats()
+        double = load_venue("CL-2", "tiny").stats()
+        assert double.num_floors >= 2 * base.num_floors - 1
+
+    def test_paper_table2_reference_complete(self):
+        assert set(PAPER_TABLE2) == set(VENUE_NAMES)
+
+
+class TestReplication:
+    def test_counts(self, tower_space):
+        double = replicate_space(tower_space, times=2)
+        assert double.num_partitions >= 2 * tower_space.num_partitions
+        assert double.num_doors >= 2 * tower_space.num_doors
+        build_d2d_graph(double)  # connected through seam stairs
+
+    def test_floors_shift(self, tower_space):
+        double = replicate_space(tower_space, times=2)
+        floors = {p.floor for p in double.partitions if p.floor is not None}
+        assert max(floors) >= 2 * max(
+            p.floor for p in tower_space.partitions if p.floor is not None
+        )
+
+    def test_times_one_is_copy(self, tower_space):
+        copy = replicate_space(tower_space, times=1)
+        assert copy.num_doors == tower_space.num_doors
+
+    def test_invalid_times(self, tower_space):
+        with pytest.raises(VenueError):
+            replicate_space(tower_space, times=0)
+
+    def test_custom_name(self, tower_space):
+        assert replicate_space(tower_space, name="X").name == "X"
+        assert replicate_space(tower_space).name == "tower-2"
+
+    def test_triple_replication(self, tower_space):
+        triple = replicate_space(tower_space, times=3)
+        build_d2d_graph(triple)
+        assert triple.num_partitions >= 3 * tower_space.num_partitions
+
+
+class TestVenueRow:
+    def test_fields(self):
+        row = venue_row(load_venue("MC", "tiny"))
+        assert row["name"] == "MC"
+        assert row["doors"] > 0
+        assert row["edges"] > row["doors"]
+        assert row["avg_out_degree"] > 0

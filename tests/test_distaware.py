@@ -1,0 +1,117 @@
+"""DistAw / DistAw++ baselines vs the oracle."""
+
+import pytest
+
+from repro.baselines import DijkstraOracle, DistAwPlusPlus, DistAware
+
+from conftest import sample_points
+
+
+@pytest.fixture(scope="module")
+def aw(tower_space, tower_iptree):
+    return DistAware(tower_space, tower_iptree.d2d)
+
+
+@pytest.fixture(scope="module")
+def objects(tower_space):
+    from repro.datasets import random_objects
+
+    return random_objects(tower_space, 7, seed=19)
+
+
+class TestDistances:
+    def test_matches_oracle(self, aw, tower_space, tower_oracle):
+        pts = sample_points(tower_space, 12, seed=71)
+        for s, t in zip(pts[:6], pts[6:]):
+            assert aw.shortest_distance(s, t) == pytest.approx(
+                tower_oracle.shortest_distance(s, t), abs=1e-9
+            )
+
+    def test_door_endpoints(self, aw, tower_space, tower_oracle):
+        n = tower_space.num_doors
+        for da, db in ((0, n - 1), (1, n // 2), (n // 3, n // 3)):
+            assert aw.shortest_distance(da, db) == pytest.approx(
+                tower_oracle.shortest_distance(da, db), abs=1e-9
+            )
+
+    def test_shortest_path_valid(self, aw, tower_space, tower_oracle):
+        pts = sample_points(tower_space, 8, seed=72)
+        for s, t in zip(pts[:4], pts[4:]):
+            d, doors = aw.shortest_path(s, t)
+            assert d == pytest.approx(tower_oracle.shortest_distance(s, t), abs=1e-9)
+            for x, y in zip(doors, doors[1:]):
+                assert aw.d2d.has_edge(x, y)
+
+
+class TestObjectQueries:
+    def test_requires_attach(self, aw):
+        fresh = DistAware(aw.space, aw.d2d)
+        with pytest.raises(RuntimeError):
+            fresh.knn(0, 1)
+
+    def test_knn_matches_oracle(self, aw, objects, tower_space, tower_oracle):
+        aw.attach_objects(objects)
+        for q in sample_points(tower_space, 6, seed=73):
+            got = aw.knn(q, 3)
+            expected = tower_oracle.knn(q, objects, 3)
+            assert [round(d, 8) for d, _ in got] == pytest.approx(
+                [round(d, 8) for d, _ in expected], abs=1e-7
+            )
+
+    def test_knn_sorted_by_distance(self, aw, objects, tower_space):
+        aw.attach_objects(objects)
+        q = sample_points(tower_space, 1, seed=74)[0]
+        res = aw.knn(q, 5)
+        dists = [d for d, _ in res]
+        assert dists == sorted(dists)
+
+    def test_range_matches_oracle(self, aw, objects, tower_space, tower_oracle):
+        aw.attach_objects(objects)
+        for q in sample_points(tower_space, 6, seed=75):
+            got = {(round(d, 8), i) for d, i in aw.range_query(q, 20.0)}
+            expected = {
+                (round(d, 8), i)
+                for d, i in tower_oracle.range_query(q, objects, 20.0)
+            }
+            assert got == expected
+
+    def test_memory_accounts_for_augmentation(self, aw, objects):
+        base = DistAware(aw.space, aw.d2d).memory_bytes()
+        aw.attach_objects(objects)
+        assert aw.memory_bytes() >= base
+
+
+class TestDistAwPlusPlus:
+    def test_distance_same_as_distaw(self, tower_space, tower_iptree, tower_oracle):
+        pp = DistAwPlusPlus(tower_space, tower_iptree.d2d)
+        pts = sample_points(tower_space, 6, seed=76)
+        for s, t in zip(pts[:3], pts[3:]):
+            assert pp.shortest_distance(s, t) == pytest.approx(
+                tower_oracle.shortest_distance(s, t), abs=1e-9
+            )
+
+    def test_knn_uses_matrix(self, tower_space, tower_iptree, tower_oracle, objects):
+        pp = DistAwPlusPlus(tower_space, tower_iptree.d2d)
+        pp.attach_objects(objects)
+        for q in sample_points(tower_space, 5, seed=77):
+            got = pp.knn(q, 3)
+            expected = tower_oracle.knn(q, objects, 3)
+            assert [round(d, 8) for d, _ in got] == pytest.approx(
+                [round(d, 8) for d, _ in expected], abs=1e-7
+            )
+
+    def test_requires_attach(self, tower_space, tower_iptree):
+        pp = DistAwPlusPlus(tower_space, tower_iptree.d2d)
+        with pytest.raises(RuntimeError):
+            pp.knn(0, 1)
+
+    def test_memory_exceeds_distaw(self, tower_space, tower_iptree):
+        aw = DistAware(tower_space, tower_iptree.d2d)
+        pp = DistAwPlusPlus(tower_space, tower_iptree.d2d)
+        assert pp.memory_bytes() > aw.memory_bytes()
+
+    def test_index_names(self, tower_space, tower_iptree):
+        assert DistAware(tower_space, tower_iptree.d2d).index_name == "DistAw"
+        assert (
+            DistAwPlusPlus(tower_space, tower_iptree.d2d).index_name == "DistAw++"
+        )

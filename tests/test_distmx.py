@@ -1,0 +1,146 @@
+"""DistMx baseline: exactness, path recovery, the no-through optimization."""
+
+import pytest
+
+from repro import IndoorPoint, IndoorSpaceBuilder, make_object_set
+from repro.baselines import DijkstraOracle, DistanceMatrix, DistMxObjects
+
+from conftest import sample_points
+
+
+@pytest.fixture(scope="module")
+def mx(fig1_space, fig1_iptree):
+    return DistanceMatrix(fig1_space, fig1_iptree.d2d)
+
+
+class TestDoorMatrix:
+    def test_distances_match_oracle(self, mx, fig1_oracle, fig1_space):
+        step = max(1, fig1_space.num_doors // 8)
+        for da in range(0, fig1_space.num_doors, step):
+            for db in range(0, fig1_space.num_doors, step * 2 + 1):
+                assert mx.door_distance(da, db) == pytest.approx(
+                    fig1_oracle.shortest_distance(da, db), abs=1e-9
+                )
+
+    def test_diagonal_zero(self, mx, fig1_space):
+        for d in range(fig1_space.num_doors):
+            assert mx.door_distance(d, d) == 0.0
+
+    def test_symmetric(self, mx, fig1_space):
+        n = fig1_space.num_doors
+        for da in range(0, n, 3):
+            for db in range(1, n, 5):
+                assert mx.door_distance(da, db) == pytest.approx(
+                    mx.door_distance(db, da), abs=1e-9
+                )
+
+    def test_door_path_valid(self, mx, fig1_space):
+        ext = [d for d in range(fig1_space.num_doors) if fig1_space.is_exterior_door(d)]
+        path = mx.door_path(ext[0], ext[1])
+        assert path[0] == ext[0] and path[-1] == ext[1]
+        total = sum(
+            mx.d2d.edge_weight(x, y) for x, y in zip(path, path[1:])
+        )
+        assert total == pytest.approx(mx.door_distance(ext[0], ext[1]), abs=1e-9)
+
+    def test_memory_quadratic(self, mx, fig1_space):
+        n = fig1_space.num_doors
+        assert mx.memory_bytes() >= n * n * 12
+
+    def test_build_time_recorded(self, mx):
+        assert mx.build_seconds > 0
+
+
+class TestPointQueries:
+    def test_matches_oracle(self, mx, fig1_oracle, fig1_space):
+        pts = sample_points(fig1_space, 12, seed=61)
+        for s, t in zip(pts[:6], pts[6:]):
+            assert mx.shortest_distance(s, t) == pytest.approx(
+                fig1_oracle.shortest_distance(s, t), abs=1e-9
+            )
+
+    def test_unoptimized_same_answer_more_pairs(self, mx, fig1_space):
+        pts = sample_points(fig1_space, 12, seed=62)
+        total_opt = total_unopt = 0
+        for s, t in zip(pts[:6], pts[6:]):
+            d_opt, p_opt = mx.distance_query(s, t, optimized=True)
+            d_unopt, p_unopt = mx.distance_query(s, t, optimized=False)
+            assert d_opt == pytest.approx(d_unopt, abs=1e-9)
+            total_opt += p_opt
+            total_unopt += p_unopt
+        assert total_opt <= total_unopt
+
+    def test_optimization_reduces_pairs_on_hallways(self, mx, fig1_space):
+        # hallway-to-hallway queries see the full reduction: most hallway
+        # doors lead to no-through rooms
+        halls = fig1_space.fixture_halls
+        s = IndoorPoint(halls[0], 5.0, 0.5)
+        t = IndoorPoint(halls[3], 65.0, 0.5)
+        _, p_opt = mx.distance_query(s, t, optimized=True)
+        _, p_unopt = mx.distance_query(s, t, optimized=False)
+        assert p_opt < p_unopt
+
+    def test_shortest_path_length(self, mx, fig1_oracle, fig1_space):
+        pts = sample_points(fig1_space, 8, seed=63)
+        for s, t in zip(pts[:4], pts[4:]):
+            d, doors = mx.shortest_path(s, t)
+            assert d == pytest.approx(fig1_oracle.shortest_distance(s, t), abs=1e-9)
+            for x, y in zip(doors, doors[1:]):
+                assert mx.d2d.has_edge(x, y)
+
+    def test_target_in_no_through_partition(self, fig1_space, mx, fig1_oracle):
+        """Regression: the no-through pruning must keep doors that lead
+        to the *other endpoint's* partition."""
+        hall = fig1_space.fixture_halls[1]
+        room = fig1_space.fixture_rooms[1][2]  # single-door room off hall 1
+        s = IndoorPoint(hall, 25.0, 0.5)
+        t = IndoorPoint(room, 27.0, 2.0)
+        assert mx.shortest_distance(s, t) == pytest.approx(
+            fig1_oracle.shortest_distance(s, t), abs=1e-9
+        )
+
+
+class TestDistMxObjects:
+    def test_knn_matches_oracle(self, mx, fig1_space, fig1_oracle, fig1_objects):
+        mo = DistMxObjects(mx, fig1_objects)
+        for q in sample_points(fig1_space, 5, seed=64):
+            got = mo.knn(q, 3)
+            expected = fig1_oracle.knn(q, fig1_objects, 3)
+            assert [round(d, 8) for d, _ in got] == pytest.approx(
+                [round(d, 8) for d, _ in expected], abs=1e-7
+            )
+
+    def test_range_matches_oracle(self, mx, fig1_space, fig1_oracle, fig1_objects):
+        mo = DistMxObjects(mx, fig1_objects)
+        for q in sample_points(fig1_space, 5, seed=65):
+            got = {(round(d, 8), i) for d, i in mo.range_query(q, 30.0)}
+            expected = {
+                (round(d, 8), i) for d, i in fig1_oracle.range_query(q, fig1_objects, 30.0)
+            }
+            assert got == expected
+
+    def test_query_in_object_partition(self, mx, fig1_space, fig1_objects):
+        obj = fig1_objects[0]
+        q = IndoorPoint(obj.location.partition_id, obj.location.x + 3.0, obj.location.y + 4.0)
+        (d, oid), *_ = mo_res = DistMxObjects(mx, fig1_objects).knn(q, 1)
+        assert oid == obj.object_id
+        assert d == pytest.approx(5.0)
+
+    def test_object_behind_no_through_door(self):
+        """Object inside a no-through room reachable only through a door
+        the query-side pruning would normally drop."""
+        b = IndoorSpaceBuilder()
+        hall = b.add_hallway(floor=0)
+        rooms = [b.add_room(floor=0) for _ in range(6)]
+        for i, r in enumerate(rooms):
+            b.add_door(hall, r, x=float(i), y=1.0)
+        b.add_exterior_door(hall, x=-1.0, y=0.0)
+        space = b.build()
+        mx = DistanceMatrix(space)
+        objects = make_object_set(space, [IndoorPoint(rooms[3], 3.0, 2.0)])
+        mo = DistMxObjects(mx, objects)
+        oracle = DijkstraOracle(space, mx.d2d)
+        q = IndoorPoint(rooms[0], 0.0, 2.0)
+        got = mo.knn(q, 1)
+        expected = oracle.knn(q, objects, 1)
+        assert got[0][0] == pytest.approx(expected[0][0], abs=1e-9)

@@ -1,0 +1,74 @@
+"""Unit tests for doors, partitions and the paper's partition categories."""
+
+import pytest
+
+from repro import IndoorPoint, PartitionCategory, PartitionKind
+from repro.model.entities import DEFAULT_DELTA, Door, Partition
+from repro.model.geometry import Point
+
+
+def make_partition(num_doors: int, **kwargs) -> Partition:
+    return Partition(
+        partition_id=0, door_ids=list(range(num_doors)), **kwargs
+    )
+
+
+class TestCategories:
+    def test_single_door_is_no_through(self):
+        assert make_partition(1).category() is PartitionCategory.NO_THROUGH
+
+    def test_zero_doors_is_no_through(self):
+        assert make_partition(0).category() is PartitionCategory.NO_THROUGH
+
+    def test_two_doors_is_general(self):
+        assert make_partition(2).category() is PartitionCategory.GENERAL
+
+    def test_delta_doors_is_general(self):
+        # the paper: "more than delta doors" is a hallway
+        assert make_partition(DEFAULT_DELTA).category() is PartitionCategory.GENERAL
+
+    def test_delta_plus_one_is_hallway(self):
+        assert make_partition(DEFAULT_DELTA + 1).category() is PartitionCategory.HALLWAY
+
+    def test_custom_delta(self):
+        p = make_partition(3)
+        assert p.category(delta=2) is PartitionCategory.HALLWAY
+        assert p.category(delta=10) is PartitionCategory.GENERAL
+
+    def test_kind_does_not_affect_category(self):
+        p = make_partition(2, kind=PartitionKind.STAIRCASE)
+        assert p.category() is PartitionCategory.GENERAL
+
+    def test_default_delta_is_paper_value(self):
+        assert DEFAULT_DELTA == 4
+
+
+class TestDoor:
+    def test_fields(self):
+        d = Door(door_id=3, position=Point(1, 2, 0), label="d3")
+        assert d.door_id == 3
+        assert d.position == Point(1, 2, 0)
+        assert d.label == "d3"
+
+
+class TestIndoorPoint:
+    def test_position_materializes_floor(self):
+        p = IndoorPoint(partition_id=2, x=1.0, y=2.0)
+        assert p.position(3.0) == Point(1.0, 2.0, 3.0)
+
+    def test_frozen(self):
+        p = IndoorPoint(0, 0.0, 0.0)
+        with pytest.raises(AttributeError):
+            p.x = 1.0  # type: ignore[misc]
+
+    def test_equality(self):
+        assert IndoorPoint(1, 2.0, 3.0) == IndoorPoint(1, 2.0, 3.0)
+        assert IndoorPoint(1, 2.0, 3.0) != IndoorPoint(2, 2.0, 3.0)
+
+
+class TestPartitionKind:
+    @pytest.mark.parametrize(
+        "kind", ["room", "hallway", "staircase", "lift", "escalator", "outdoor"]
+    )
+    def test_round_trip_from_value(self, kind):
+        assert PartitionKind(kind).value == kind

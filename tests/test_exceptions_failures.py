@@ -1,0 +1,154 @@
+"""Failure injection: every index fails loudly (not wrongly) on bad
+inputs — disconnected venues, malformed endpoints, foreign objects."""
+
+import pytest
+
+from repro import (
+    DisconnectedVenueError,
+    IndoorPoint,
+    IndoorSpaceBuilder,
+    IPTree,
+    QueryError,
+    VIPTree,
+)
+from repro.baselines import DistanceMatrix, DistAware, GTree, Road
+from repro.model.d2d import build_d2d_graph
+
+
+@pytest.fixture()
+def disconnected_space():
+    b = IndoorSpaceBuilder(name="islands")
+    a1 = b.add_room(floor=0)
+    a2 = b.add_room(floor=0)
+    b.add_door(a1, a2, x=0, y=0)
+    c1 = b.add_room(floor=0)
+    c2 = b.add_room(floor=0)
+    b.add_door(c1, c2, x=50, y=50)
+    return b.build()
+
+
+class TestDisconnectedVenues:
+    def test_iptree_refuses(self, disconnected_space):
+        with pytest.raises(DisconnectedVenueError):
+            IPTree.build(disconnected_space)
+
+    def test_viptree_refuses(self, disconnected_space):
+        with pytest.raises(DisconnectedVenueError):
+            VIPTree.build(disconnected_space)
+
+    @pytest.mark.parametrize("index_cls", [DistanceMatrix, DistAware, GTree, Road])
+    def test_baselines_refuse(self, disconnected_space, index_cls):
+        with pytest.raises(DisconnectedVenueError):
+            index_cls(disconnected_space)
+
+    def test_explicit_opt_out(self, disconnected_space):
+        graph = build_d2d_graph(disconnected_space, require_connected=False)
+        assert not graph.is_connected()
+
+
+class TestEndpointValidation:
+    @pytest.fixture(scope="class")
+    def indexes(self, fig1_space, fig1_iptree):
+        return [
+            fig1_iptree,
+            DistanceMatrix(fig1_space, fig1_iptree.d2d),
+            DistAware(fig1_space, fig1_iptree.d2d),
+            GTree(fig1_space, fig1_iptree.d2d),
+            Road(fig1_space, fig1_iptree.d2d),
+        ]
+
+    def test_unknown_partition_rejected_everywhere(self, indexes):
+        bad = IndoorPoint(77_777, 0.0, 0.0)
+        for index in indexes:
+            with pytest.raises(QueryError):
+                index.shortest_distance(bad, 0)
+
+    def test_unknown_door_rejected_everywhere(self, indexes):
+        for index in indexes:
+            with pytest.raises(QueryError):
+                index.shortest_distance(0, -5)
+            with pytest.raises(QueryError):
+                index.shortest_distance(0, 10**6)
+
+    def test_wrong_type_rejected_everywhere(self, indexes):
+        for index in indexes:
+            with pytest.raises(QueryError):
+                index.shortest_distance((1, 2.0), 0)
+
+
+class TestSingleLeafVenues:
+    """Degenerate trees (root == leaf) still answer every query."""
+
+    @pytest.fixture(scope="class")
+    def tiny(self):
+        b = IndoorSpaceBuilder(name="one-room-flat")
+        a = b.add_room(floor=0)
+        c = b.add_room(floor=0)
+        b.add_door(a, c, x=2.0, y=0.0)
+        b.add_exterior_door(a, x=0.0, y=0.0)
+        return b.build()
+
+    def test_tree_collapses_to_leaf_root(self, tiny):
+        tree = VIPTree.build(tiny)
+        assert tree.root.is_leaf
+
+    def test_distance_and_path(self, tiny):
+        tree = VIPTree.build(tiny)
+        s = IndoorPoint(0, 0.0, 1.0)
+        t = IndoorPoint(1, 3.0, 1.0)
+        d = tree.shortest_distance(s, t)
+        res = tree.shortest_path(s, t)
+        assert res.distance == pytest.approx(d)
+        assert res.doors  # must pass the connecting door
+
+    def test_knn_on_single_leaf(self, tiny):
+        from repro import ObjectIndex, make_object_set
+
+        tree = VIPTree.build(tiny)
+        objs = make_object_set(tiny, [IndoorPoint(1, 3.0, 0.0)])
+        oi = ObjectIndex(tree, objs)
+        res = tree.knn(oi, IndoorPoint(0, 0.0, 0.0), 1)
+        assert len(res) == 1
+
+
+class TestZeroWeightConnectors:
+    """Lifts with zero travel weight (paper §2: 'set to zero for a
+    lift/escalator if the distance corresponds to the walking
+    distance')."""
+
+    @pytest.fixture(scope="class")
+    def lift_space(self):
+        b = IndoorSpaceBuilder(name="free-lift")
+        halls = [b.add_hallway(floor=f) for f in range(2)]
+        rooms = []
+        for f, hall in enumerate(halls):
+            for i in range(5):
+                r = b.add_room(floor=f)
+                b.add_door(hall, r, x=2.0 + i * 3, y=1.0, floor=f)
+                rooms.append(r)
+        b.add_exterior_door(halls[0], x=0, y=0, floor=0)
+        b.add_staircase(halls[0], halls[1], x=16.0, y=0.0, floor_lower=0, floor_upper=1)
+        b.add_lift(halls, x=8.0, y=0.0, floors=[0.0, 1.0], travel_weight=0.0)
+        space = b.build()
+        space.fixture_rooms = [rooms]
+        return space
+
+    def test_distance_with_free_lift(self, lift_space):
+        from repro.baselines import DijkstraOracle
+
+        tree = VIPTree.build(lift_space)
+        oracle = DijkstraOracle(lift_space, tree.d2d)
+        s = IndoorPoint(lift_space.fixture_rooms[0][0], 2.0, 2.0)
+        t = IndoorPoint(lift_space.fixture_rooms[0][-1], 14.0, 2.0)
+        assert tree.shortest_distance(s, t) == pytest.approx(
+            oracle.shortest_distance(s, t), abs=1e-9
+        )
+
+    def test_path_with_free_lift(self, lift_space):
+        from repro.core.query_path import path_length
+
+        tree = VIPTree.build(lift_space)
+        s = IndoorPoint(lift_space.fixture_rooms[0][1], 5.0, 2.0)
+        t = IndoorPoint(lift_space.fixture_rooms[0][-2], 11.0, 2.0)
+        res = tree.shortest_path(s, t)
+        assert path_length(tree, res, s, t) == pytest.approx(res.distance, abs=1e-9)

@@ -1,0 +1,101 @@
+"""Unit tests for geometric primitives."""
+
+import math
+import random
+
+import pytest
+
+from repro.model.geometry import DEFAULT_FLOOR_HEIGHT, Point, Rect, euclidean
+
+
+class TestPoint:
+    def test_planar_distance(self):
+        assert Point(0, 0).planar_distance(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_planar_distance_ignores_floor(self):
+        assert Point(0, 0, 5).planar_distance(Point(3, 4, 0)) == pytest.approx(5.0)
+
+    def test_distance_same_floor(self):
+        assert Point(1, 2, 1).distance(Point(4, 6, 1)) == pytest.approx(5.0)
+
+    def test_distance_across_floors_uses_floor_height(self):
+        d = Point(0, 0, 0).distance(Point(0, 0, 1), floor_height=4.0)
+        assert d == pytest.approx(4.0)
+
+    def test_distance_custom_floor_height(self):
+        d = Point(0, 0, 0).distance(Point(3, 0, 1), floor_height=4.0)
+        assert d == pytest.approx(5.0)
+
+    def test_distance_default_floor_height(self):
+        d = Point(0, 0, 0).distance(Point(0, 0, 2))
+        assert d == pytest.approx(2 * DEFAULT_FLOOR_HEIGHT)
+
+    def test_translated(self):
+        p = Point(1, 2, 0).translated(dx=1, dy=-2, dfloor=3)
+        assert (p.x, p.y, p.floor) == (2, 0, 3)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 5  # type: ignore[misc]
+
+    def test_euclidean_helper(self):
+        assert euclidean(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_symmetric(self):
+        a, b = Point(1, 7, 2), Point(-3, 0, 1)
+        assert a.distance(b) == pytest.approx(b.distance(a))
+
+    def test_triangle_inequality(self):
+        a, b, c = Point(0, 0, 0), Point(5, 1, 1), Point(2, 9, 2)
+        assert a.distance(c) <= a.distance(b) + b.distance(c) + 1e-12
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(1, 2, 5, 10)
+        assert r.width == 4 and r.height == 8 and r.area == 32
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == (2.0, 1.0)
+
+    def test_contains_interior_and_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains(1, 1)
+        assert r.contains(0, 0)
+        assert r.contains(2, 2)
+        assert not r.contains(2.1, 1)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 1, 2)
+
+    def test_zero_area_allowed(self):
+        r = Rect(1, 1, 1, 1)
+        assert r.area == 0
+
+    def test_sample_inside(self):
+        r = Rect(2, 3, 7, 9)
+        rng = random.Random(3)
+        for _ in range(50):
+            x, y = r.sample(rng)
+            assert r.contains(x, y)
+
+    def test_sample_deterministic(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.sample(random.Random(1)) == r.sample(random.Random(1))
+
+    def test_translated(self):
+        r = Rect(0, 0, 2, 2).translated(dx=3, dy=-1)
+        assert (r.x_min, r.y_min, r.x_max, r.y_max) == (3, -1, 5, 1)
+
+
+class TestMetricProperties:
+    def test_zero_distance(self):
+        p = Point(3.7, -2.0, 1.0)
+        assert p.distance(p) == 0.0
+
+    def test_distance_is_3d_euclidean(self):
+        a = Point(1, 2, 0)
+        b = Point(4, 6, 2)
+        expected = math.sqrt(3**2 + 4**2 + (2 * DEFAULT_FLOOR_HEIGHT) ** 2)
+        assert a.distance(b) == pytest.approx(expected)

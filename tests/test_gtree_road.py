@@ -1,0 +1,218 @@
+"""G-tree and ROAD baselines: structure, exactness and object queries."""
+
+import pytest
+
+from repro.baselines import DijkstraOracle, GTree, Road
+from repro.datasets import random_objects
+from repro.graph.partitioner import bisect, cut_size, partition_k
+from repro.graph.adjacency import Graph
+
+from conftest import sample_points
+
+
+@pytest.fixture(scope="module")
+def gtree(office_space):
+    return GTree(office_space, max_leaf_size=10)
+
+
+@pytest.fixture(scope="module")
+def road(office_space, gtree):
+    return Road(office_space, gtree.graph)
+
+
+@pytest.fixture(scope="module")
+def oracle(office_space, gtree):
+    return DijkstraOracle(office_space, gtree.graph)
+
+
+@pytest.fixture(scope="module")
+def objects(office_space):
+    return random_objects(office_space, 8, seed=29)
+
+
+class TestPartitioner:
+    def grid(self, n):
+        g = Graph(n * n)
+        for i in range(n):
+            for j in range(n):
+                v = i * n + j
+                if j + 1 < n:
+                    g.add_edge(v, v + 1, 1.0)
+                if i + 1 < n:
+                    g.add_edge(v, v + n, 1.0)
+        return g
+
+    def test_bisect_covers_and_disjoint(self):
+        g = self.grid(6)
+        a, b = bisect(g, list(range(36)))
+        assert sorted(a + b) == list(range(36))
+        assert not set(a) & set(b)
+
+    def test_bisect_balanced(self):
+        g = self.grid(6)
+        a, b = bisect(g, list(range(36)))
+        assert min(len(a), len(b)) >= 36 * 0.3
+
+    def test_bisect_deterministic(self):
+        g = self.grid(5)
+        assert bisect(g, list(range(25))) == bisect(g, list(range(25)))
+
+    def test_bisect_cut_reasonable(self):
+        # a 6x6 grid has a 6-edge minimum bisection; allow 3x slack
+        g = self.grid(6)
+        a, b = bisect(g, list(range(36)))
+        side = {v: 0 for v in a}
+        side.update({v: 1 for v in b})
+        assert cut_size(g, side) <= 18
+
+    def test_partition_k_counts(self):
+        g = self.grid(6)
+        parts = partition_k(g, list(range(36)), 4)
+        assert 2 <= len(parts) <= 4
+        assert sorted(v for p in parts for v in p) == list(range(36))
+
+    def test_partition_single_vertex(self):
+        g = Graph(1)
+        assert partition_k(g, [0], 4) == [[0]]
+
+    def test_bisect_two_vertices(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 1.0)
+        assert bisect(g, [0, 1]) == ([0], [1])
+
+
+class TestGTreeStructure:
+    def test_leaves_cover_vertices(self, gtree):
+        seen = sorted(v for n in gtree.nodes if n.is_leaf for v in n.vertices)
+        assert seen == list(range(gtree.graph.num_vertices))
+
+    def test_leaf_size_bound(self, gtree):
+        for n in gtree.nodes:
+            if n.is_leaf:
+                assert len(n.vertices) <= gtree.max_leaf_size
+
+    def test_root_has_no_borders(self, gtree):
+        assert gtree.nodes[gtree.root_id].borders == []
+
+    def test_borders_have_outside_edges(self, gtree):
+        sets = gtree._node_vertex_sets()
+        for node in gtree.nodes:
+            vs = sets[node.nid]
+            for b in node.borders:
+                assert any(u not in vs for u, _ in gtree.graph.neighbors(b))
+
+    def test_stats(self, gtree):
+        s = gtree.stats()
+        assert s["leaves"] >= 2
+        assert s["max_borders"] >= 1
+
+
+class TestGTreeQueries:
+    def test_door_distance_exact_on_structured_venue(self, gtree, oracle, office_space):
+        step = max(1, office_space.num_doors // 10)
+        for da in range(0, office_space.num_doors, step):
+            db = office_space.num_doors - 1 - da
+            got = gtree.door_distance(da, db)
+            expected = oracle.shortest_distance(da, db)
+            assert got >= expected - 1e-9  # never underestimates
+            assert got == pytest.approx(expected, abs=1e-6)
+
+    def test_point_queries(self, gtree, oracle, office_space):
+        pts = sample_points(office_space, 10, seed=81)
+        for s, t in zip(pts[:5], pts[5:]):
+            assert gtree.shortest_distance(s, t) == pytest.approx(
+                oracle.shortest_distance(s, t), abs=1e-6
+            )
+
+    def test_shortest_path(self, gtree, oracle, office_space):
+        pts = sample_points(office_space, 6, seed=82)
+        for s, t in zip(pts[:3], pts[3:]):
+            d, doors = gtree.shortest_path(s, t)
+            assert d == pytest.approx(oracle.shortest_distance(s, t), abs=1e-9)
+            for x, y in zip(doors, doors[1:]):
+                assert gtree.graph.has_edge(x, y)
+
+    def test_knn(self, gtree, oracle, office_space, objects):
+        gtree.attach_objects(objects)
+        for q in sample_points(office_space, 5, seed=83):
+            got = gtree.knn(q, 3)
+            expected = oracle.knn(q, objects, 3)
+            assert [round(d, 6) for d, _ in got] == pytest.approx(
+                [round(d, 6) for d, _ in expected], abs=1e-5
+            )
+
+    def test_range(self, gtree, oracle, office_space, objects):
+        gtree.attach_objects(objects)
+        for q in sample_points(office_space, 4, seed=84):
+            got = {i for _, i in gtree.range_query(q, 25.0)}
+            expected = {i for _, i in oracle.range_query(q, objects, 25.0)}
+            assert got == expected
+
+    def test_requires_attach(self, office_space, gtree):
+        fresh = GTree(office_space, gtree.graph, max_leaf_size=10)
+        with pytest.raises(RuntimeError):
+            fresh.knn(0, 1)
+
+    def test_memory_positive(self, gtree):
+        assert gtree.memory_bytes() > 0
+
+
+class TestRoad:
+    def test_rnets_nested(self, road):
+        for rnet in road.rnets:
+            if rnet.parent is not None:
+                assert rnet.vertices <= road.rnets[rnet.parent].vertices
+
+    def test_shortcut_distances_within_subgraph(self, road, oracle):
+        # shortcuts never underestimate the true distance
+        for rnet in road.rnets[:6]:
+            for b, edges in list(rnet.shortcuts.items())[:3]:
+                for v, d in edges[:3]:
+                    assert d >= oracle.shortest_distance(b, v) - 1e-9
+
+    def test_distances_exact(self, road, oracle, office_space):
+        pts = sample_points(office_space, 12, seed=85)
+        for s, t in zip(pts[:6], pts[6:]):
+            assert road.shortest_distance(s, t) == pytest.approx(
+                oracle.shortest_distance(s, t), abs=1e-9
+            )
+
+    def test_door_distances_exact(self, road, oracle, office_space):
+        n = office_space.num_doors
+        for da, db in ((0, n - 1), (n // 4, 3 * n // 4), (n // 2, 0)):
+            assert road.shortest_distance(da, db) == pytest.approx(
+                oracle.shortest_distance(da, db), abs=1e-9
+            )
+
+    def test_shortest_path_distance(self, road, oracle, office_space):
+        pts = sample_points(office_space, 6, seed=86)
+        for s, t in zip(pts[:3], pts[3:]):
+            d, doors = road.shortest_path(s, t)
+            assert d == pytest.approx(oracle.shortest_distance(s, t), abs=1e-9)
+            assert doors  # at least one door on a cross-partition path
+
+    def test_knn(self, road, oracle, office_space, objects):
+        road.attach_objects(objects)
+        for q in sample_points(office_space, 5, seed=87):
+            got = road.knn(q, 3)
+            expected = oracle.knn(q, objects, 3)
+            assert [round(d, 8) for d, _ in got] == pytest.approx(
+                [round(d, 8) for d, _ in expected], abs=1e-7
+            )
+
+    def test_range(self, road, oracle, office_space, objects):
+        road.attach_objects(objects)
+        for q in sample_points(office_space, 4, seed=88):
+            got = {i for _, i in road.range_query(q, 25.0)}
+            expected = {i for _, i in oracle.range_query(q, objects, 25.0)}
+            assert got == expected
+
+    def test_requires_attach(self, office_space, road):
+        fresh = Road(office_space, road.graph)
+        with pytest.raises(RuntimeError):
+            fresh.knn(0, 1)
+
+    def test_stats(self, road):
+        s = road.stats()
+        assert s["rnets"] >= 2
+        assert s["total_shortcuts"] >= 0

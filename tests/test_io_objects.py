@@ -1,0 +1,106 @@
+"""Serialization round-trips and object-set semantics."""
+
+import pytest
+
+from repro import IndoorPoint, QueryError, VenueError, make_object_set
+from repro.model.io_json import (
+    load_space,
+    objects_from_dict,
+    objects_to_dict,
+    save_space,
+    space_from_dict,
+    space_to_dict,
+)
+from repro.model.objects import IndoorObject, ObjectSet
+
+
+class TestSpaceRoundTrip:
+    def test_round_trip_preserves_structure(self, tower_space):
+        clone = space_from_dict(space_to_dict(tower_space))
+        assert clone.num_doors == tower_space.num_doors
+        assert clone.num_partitions == tower_space.num_partitions
+        assert clone.name == tower_space.name
+        assert clone.floor_height == tower_space.floor_height
+        for a, b in zip(clone.partitions, tower_space.partitions):
+            assert a.kind == b.kind
+            assert a.floor == b.floor
+            assert a.door_ids == b.door_ids
+            assert a.fixed_traversal == b.fixed_traversal
+        for a, b in zip(clone.doors, tower_space.doors):
+            assert a.position == b.position
+
+    def test_round_trip_preserves_footprints(self, mall_space):
+        clone = space_from_dict(space_to_dict(mall_space))
+        for a, b in zip(clone.partitions, mall_space.partitions):
+            if b.footprint is not None:
+                assert a.footprint is not None
+                assert a.footprint.x_min == b.footprint.x_min
+
+    def test_round_trip_preserves_metric(self, tower_space):
+        clone = space_from_dict(space_to_dict(tower_space))
+        pid = next(
+            p.partition_id for p in tower_space.partitions if len(p.door_ids) >= 2
+        )
+        d1, d2 = tower_space.partitions[pid].door_ids[:2]
+        assert clone.partition_door_distance(pid, d1, d2) == pytest.approx(
+            tower_space.partition_door_distance(pid, d1, d2)
+        )
+
+    def test_file_round_trip(self, tmp_path, fig1_space):
+        path = tmp_path / "venue.json"
+        save_space(fig1_space, path)
+        clone = load_space(path)
+        assert clone.num_doors == fig1_space.num_doors
+
+    def test_bad_version_rejected(self, fig1_space):
+        doc = space_to_dict(fig1_space)
+        doc["version"] = 99
+        with pytest.raises(VenueError):
+            space_from_dict(doc)
+
+
+class TestObjectsRoundTrip:
+    def test_round_trip(self, fig1_objects):
+        clone = objects_from_dict(objects_to_dict(fig1_objects))
+        assert len(clone) == len(fig1_objects)
+        for a, b in zip(clone, fig1_objects):
+            assert a.location == b.location
+            assert a.label == b.label
+            assert a.category == b.category
+
+    def test_bad_version_rejected(self, fig1_objects):
+        doc = objects_to_dict(fig1_objects)
+        doc["version"] = -1
+        with pytest.raises(VenueError):
+            objects_from_dict(doc)
+
+
+class TestObjectSet:
+    def test_make_object_set_validates(self, fig1_space):
+        with pytest.raises(QueryError):
+            make_object_set(fig1_space, [IndoorPoint(99_999, 0, 0)])
+
+    def test_dense_ids_required(self, fig1_space):
+        objs = ObjectSet([IndoorObject(5, IndoorPoint(0, 0, 0))])
+        with pytest.raises(QueryError):
+            objs.validate(fig1_space)
+
+    def test_by_category_reindexes(self, fig1_space):
+        rooms = fig1_space.fixture_rooms
+        objs = ObjectSet(
+            [
+                IndoorObject(0, IndoorPoint(rooms[0][0], 1, 1), category="atm"),
+                IndoorObject(1, IndoorPoint(rooms[1][0], 1, 1), category="wc"),
+                IndoorObject(2, IndoorPoint(rooms[2][0], 1, 1), category="atm"),
+            ]
+        )
+        atms = objs.by_category("atm")
+        assert len(atms) == 2
+        assert [o.object_id for o in atms] == [0, 1]
+        atms.validate(fig1_space)
+
+    def test_partitions(self, fig1_objects):
+        assert len(fig1_objects.partitions()) == len(fig1_objects)
+
+    def test_iteration_and_indexing(self, fig1_objects):
+        assert list(fig1_objects)[0] is fig1_objects[0]

@@ -1,0 +1,185 @@
+"""Property-based tests on randomly generated venues.
+
+Every property pits an index against the plain-Dijkstra oracle (or an
+independently recomputed invariant) on venues drawn from the full
+builder vocabulary: multiple floors, hallway chains, rooms with extra
+doors, staircases and lifts.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import IndoorPoint, IPTree, ObjectIndex, VIPTree, make_object_set
+from repro.baselines import DijkstraOracle, DistanceMatrix, Road
+from repro.core.query_path import path_length
+from repro.datasets import replicate_space
+from repro.model.d2d import build_d2d_graph
+from repro.model.entities import PartitionCategory
+
+from strategies import venues
+
+COMMON = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def pick_points(space, count, seed=0):
+    rng = random.Random(seed)
+    pids = [
+        p.partition_id
+        for p in space.partitions
+        if p.floor is not None and p.fixed_traversal is None
+    ]
+    pts = []
+    for _ in range(count):
+        pid = rng.choice(pids)
+        doors = space.partitions[pid].door_ids
+        xs = [space.doors[d].position.x for d in doors]
+        ys = [space.doors[d].position.y for d in doors]
+        pts.append(
+            IndoorPoint(pid, min(xs) + rng.random() * 2.0, min(ys) + rng.random())
+        )
+    return pts
+
+
+@given(space=venues())
+@settings(**COMMON)
+def test_vip_distance_equals_oracle(space):
+    vip = VIPTree.build(space)
+    oracle = DijkstraOracle(space, vip.d2d)
+    pts = pick_points(space, 6, seed=1)
+    for s, t in zip(pts[:3], pts[3:]):
+        assert abs(vip.shortest_distance(s, t) - oracle.shortest_distance(s, t)) < 1e-8
+
+
+@given(space=venues())
+@settings(**COMMON)
+def test_ip_distance_equals_oracle(space):
+    ip = IPTree.build(space)
+    oracle = DijkstraOracle(space, ip.d2d)
+    pts = pick_points(space, 6, seed=2)
+    for s, t in zip(pts[:3], pts[3:]):
+        assert abs(ip.shortest_distance(s, t) - oracle.shortest_distance(s, t)) < 1e-8
+
+
+@given(space=venues())
+@settings(**COMMON)
+def test_path_length_equals_distance(space):
+    vip = VIPTree.build(space)
+    ip = IPTree.build(space, d2d=vip.d2d)
+    pts = pick_points(space, 4, seed=3)
+    for s, t in zip(pts[:2], pts[2:]):
+        for tree in (ip, vip):
+            res = tree.shortest_path(s, t)
+            assert abs(path_length(tree, res, s, t) - res.distance) < 1e-8
+            for x, y in zip(res.doors, res.doors[1:]):
+                assert tree.d2d.has_edge(x, y)
+
+
+@given(space=venues())
+@settings(**COMMON)
+def test_knn_equals_bruteforce(space):
+    vip = VIPTree.build(space)
+    oracle = DijkstraOracle(space, vip.d2d)
+    pts = pick_points(space, 5, seed=4)
+    objects = make_object_set(space, pts[1:])
+    oi = ObjectIndex(vip, objects)
+    q = pts[0]
+    got = [round(n.distance, 8) for n in vip.knn(oi, q, 3)]
+    expected = [round(d, 8) for d, _ in oracle.knn(q, objects, 3)]
+    assert got == pytest.approx(expected, abs=1e-7)
+
+
+@given(space=venues())
+@settings(**COMMON)
+def test_range_equals_bruteforce(space):
+    ip = IPTree.build(space)
+    oracle = DijkstraOracle(space, ip.d2d)
+    pts = pick_points(space, 5, seed=5)
+    objects = make_object_set(space, pts[1:])
+    oi = ObjectIndex(ip, objects)
+    q = pts[0]
+    for radius in (5.0, 25.0):
+        got = {(round(n.distance, 8), n.object_id) for n in ip.range_query(oi, q, radius)}
+        expected = {
+            (round(d, 8), i) for d, i in oracle.range_query(q, objects, radius)
+        }
+        assert got == expected
+
+
+@given(space=venues())
+@settings(**COMMON)
+def test_tree_invariants(space):
+    tree = IPTree.build(space)
+    # leaves partition the partitions
+    seen = sorted(pid for n in tree.nodes if n.is_leaf for pid in n.partitions)
+    assert seen == list(range(space.num_partitions))
+    # one hallway per leaf (rule ii)
+    for node in tree.nodes:
+        if node.is_leaf:
+            hallways = [
+                pid
+                for pid in node.partitions
+                if space.category(pid) is PartitionCategory.HALLWAY
+            ]
+            assert len(hallways) <= 1
+    # matrices complete, chains rooted
+    for node in tree.nodes:
+        assert node.table is not None and node.table.is_complete()
+        if node.is_leaf:
+            assert tree.chain_of_leaf(node.nid)[-1] == tree.root_id
+
+
+@given(space=venues())
+@settings(**COMMON)
+def test_distmx_equals_oracle(space):
+    mx = DistanceMatrix(space)
+    oracle = DijkstraOracle(space, mx.d2d)
+    pts = pick_points(space, 4, seed=6)
+    for s, t in zip(pts[:2], pts[2:]):
+        assert abs(mx.shortest_distance(s, t) - oracle.shortest_distance(s, t)) < 1e-8
+
+
+@given(space=venues())
+@settings(**COMMON)
+def test_road_equals_oracle(space):
+    road = Road(space)
+    oracle = DijkstraOracle(space, road.graph)
+    pts = pick_points(space, 4, seed=7)
+    for s, t in zip(pts[:2], pts[2:]):
+        assert abs(road.shortest_distance(s, t) - oracle.shortest_distance(s, t)) < 1e-8
+
+
+@given(space=venues())
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+def test_replication_preserves_validity(space):
+    try:
+        double = replicate_space(space, times=2)
+    except Exception:
+        # venues without hallways on seam floors are legitimately rejected
+        from repro import VenueError
+
+        with pytest.raises(VenueError):
+            replicate_space(space, times=2)
+        return
+    build_d2d_graph(double)
+    assert double.num_doors >= 2 * space.num_doors
+
+
+@given(space=venues())
+@settings(**COMMON)
+def test_distance_symmetry_and_triangle(space):
+    vip = VIPTree.build(space)
+    pts = pick_points(space, 3, seed=8)
+    a, b, c = pts
+    ab = vip.shortest_distance(a, b)
+    ba = vip.shortest_distance(b, a)
+    assert abs(ab - ba) < 1e-8
+    ac = vip.shortest_distance(a, c)
+    cb = vip.shortest_distance(c, b)
+    assert ab <= ac + cb + 1e-8

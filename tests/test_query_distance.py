@@ -1,0 +1,148 @@
+"""Shortest-distance queries vs the Dijkstra oracle (IP and VIP trees)."""
+
+import pytest
+
+from repro import IndoorPoint, IPTree, QueryError, VIPTree
+from repro.baselines import DijkstraOracle
+
+from conftest import sample_points
+
+
+@pytest.fixture(scope="module", params=["fig1", "tower", "office", "campus"])
+def setting(request, all_fixture_spaces):
+    space = all_fixture_spaces[request.param]
+    ip = IPTree.build(space)
+    vip = VIPTree.build(space)
+    oracle = DijkstraOracle(space, ip.d2d)
+    return space, ip, vip, oracle
+
+
+class TestPointQueries:
+    def test_random_pairs_match_oracle(self, setting):
+        space, ip, vip, oracle = setting
+        points = sample_points(space, 16, seed=11)
+        for i, s in enumerate(points):
+            for t in points[i + 1 :: 3]:
+                expected = oracle.shortest_distance(s, t)
+                assert ip.shortest_distance(s, t) == pytest.approx(expected, abs=1e-9)
+                assert vip.shortest_distance(s, t) == pytest.approx(expected, abs=1e-9)
+
+    def test_symmetry(self, setting):
+        space, ip, vip, _ = setting
+        pts = sample_points(space, 8, seed=2)
+        for s, t in zip(pts[:4], pts[4:]):
+            assert ip.shortest_distance(s, t) == pytest.approx(
+                ip.shortest_distance(t, s), abs=1e-9
+            )
+            assert vip.shortest_distance(s, t) == pytest.approx(
+                vip.shortest_distance(t, s), abs=1e-9
+            )
+
+    def test_same_point_zero(self, setting):
+        space, ip, vip, _ = setting
+        p = sample_points(space, 1, seed=4)[0]
+        assert ip.shortest_distance(p, p) == pytest.approx(0.0, abs=1e-12)
+        assert vip.shortest_distance(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_same_partition_is_direct(self, fig1_space, fig1_iptree):
+        room = fig1_space.fixture_rooms[0][0]
+        a, b = IndoorPoint(room, 0.0, 0.0), IndoorPoint(room, 3.0, 4.0)
+        assert fig1_iptree.shortest_distance(a, b) == pytest.approx(5.0)
+
+    def test_identity_on_ip_equals_vip(self, setting):
+        space, ip, vip, _ = setting
+        pts = sample_points(space, 10, seed=9)
+        for s, t in zip(pts[:5], pts[5:]):
+            assert ip.shortest_distance(s, t) == pytest.approx(
+                vip.shortest_distance(s, t), abs=1e-9
+            )
+
+
+class TestDoorQueries:
+    def test_door_to_door_matches_oracle(self, setting):
+        space, ip, vip, oracle = setting
+        doors = list(range(0, space.num_doors, max(1, space.num_doors // 10)))
+        for i, da in enumerate(doors):
+            for db in doors[i + 1 :: 2]:
+                expected = oracle.shortest_distance(da, db)
+                assert ip.shortest_distance(da, db) == pytest.approx(expected, abs=1e-9)
+                assert vip.shortest_distance(da, db) == pytest.approx(expected, abs=1e-9)
+
+    def test_same_door_zero(self, setting):
+        _, ip, vip, _ = setting
+        assert ip.shortest_distance(0, 0) == 0.0
+        assert vip.shortest_distance(0, 0) == 0.0
+
+    def test_door_to_point(self, setting):
+        space, ip, vip, oracle = setting
+        p = sample_points(space, 1, seed=31)[0]
+        door = space.num_doors - 1
+        expected = oracle.shortest_distance(door, p)
+        assert ip.shortest_distance(door, p) == pytest.approx(expected, abs=1e-9)
+        assert vip.shortest_distance(door, p) == pytest.approx(expected, abs=1e-9)
+
+
+class TestValidation:
+    def test_unknown_partition(self, fig1_iptree):
+        with pytest.raises(QueryError):
+            fig1_iptree.shortest_distance(IndoorPoint(9999, 0, 0), 0)
+
+    def test_unknown_door(self, fig1_iptree):
+        with pytest.raises(QueryError):
+            fig1_iptree.shortest_distance(0, 10_000)
+
+    def test_bad_type(self, fig1_iptree):
+        with pytest.raises(QueryError):
+            fig1_iptree.shortest_distance("door-1", 0)
+
+
+class TestQueryStats:
+    def test_cross_leaf_counts_pairs(self, fig1_space, fig1_viptree):
+        rooms = fig1_space.fixture_rooms
+        s = IndoorPoint(rooms[0][0], 1.0, 1.0)
+        t = IndoorPoint(rooms[3][4], 70.0, 1.0)
+        res = fig1_viptree.distance_query(s, t)
+        assert res.stats.pairs_considered >= 1
+        assert res.stats.superior_pairs >= 1
+        assert not res.stats.same_leaf
+
+    def test_same_leaf_flag(self, fig1_space, fig1_viptree):
+        rooms = fig1_space.fixture_rooms
+        s = IndoorPoint(rooms[0][0], 1.0, 1.0)
+        t = IndoorPoint(rooms[0][1], 4.0, 1.0)
+        res = fig1_viptree.distance_query(s, t)
+        assert res.stats.same_leaf
+
+
+class TestSuperiorDoors:
+    def test_local_access_doors_are_superior(self, fig1_iptree):
+        tree = fig1_iptree
+        for node in tree.nodes:
+            if not node.is_leaf:
+                continue
+            access = set(node.access_doors)
+            for pid in node.partitions:
+                part_doors = set(tree.space.partitions[pid].door_ids)
+                for d in part_doors & access:
+                    assert d in tree.superior_doors[pid]
+
+    def test_superior_subset_of_partition_doors(self, fig1_iptree):
+        tree = fig1_iptree
+        for pid in range(tree.space.num_partitions):
+            assert set(tree.superior_doors[pid]) <= set(
+                tree.space.partitions[pid].door_ids
+            )
+
+    def test_superior_door_formula_is_exact(self, tower_space, tower_iptree, tower_oracle):
+        """Distances via superior doors only == distances via all doors."""
+        pts = sample_points(tower_space, 12, seed=77)
+        for s, t in zip(pts[:6], pts[6:]):
+            assert tower_iptree.shortest_distance(s, t) == pytest.approx(
+                tower_oracle.shortest_distance(s, t), abs=1e-9
+            )
+
+    def test_superior_counts_small(self, office_space):
+        tree = IPTree.build(office_space)
+        s = tree.stats()
+        # the paper observes avg < 4 even for hundred-door hallways
+        assert s.avg_superior_doors < 5

@@ -1,0 +1,139 @@
+"""Shortest-path queries: length equals distance, edges are real."""
+
+import pytest
+
+from repro import IndoorPoint, IPTree, VIPTree
+from repro.baselines import DijkstraOracle
+from repro.core.query_path import decompose_edge, path_length
+
+from conftest import sample_points
+
+
+@pytest.fixture(scope="module", params=["fig1", "tower", "office", "campus"])
+def setting(request, all_fixture_spaces):
+    space = all_fixture_spaces[request.param]
+    ip = IPTree.build(space)
+    vip = VIPTree.build(space)
+    oracle = DijkstraOracle(space, ip.d2d)
+    return space, ip, vip, oracle
+
+
+def assert_valid_path(tree, result, s, t, expected):
+    space = tree.space
+    # length recomputed from the door sequence equals the reported and
+    # expected distances
+    assert result.distance == pytest.approx(expected, abs=1e-9)
+    assert path_length(tree, result, s, t) == pytest.approx(expected, abs=1e-9)
+    # consecutive doors are D2D edges (final edges only)
+    for x, y in zip(result.doors, result.doors[1:]):
+        assert tree.d2d.has_edge(x, y), f"{x}->{y} is not a final edge"
+    # endpoints connect to their partitions
+    if result.doors and isinstance(s, IndoorPoint):
+        assert result.doors[0] in space.partitions[s.partition_id].door_ids
+    if result.doors and isinstance(t, IndoorPoint):
+        assert result.doors[-1] in space.partitions[t.partition_id].door_ids
+
+
+class TestPathCorrectness:
+    def test_paths_match_oracle_ip(self, setting):
+        space, ip, _, oracle = setting
+        pts = sample_points(space, 14, seed=21)
+        for s, t in zip(pts[:7], pts[7:]):
+            expected = oracle.shortest_distance(s, t)
+            assert_valid_path(ip, ip.shortest_path(s, t), s, t, expected)
+
+    def test_paths_match_oracle_vip(self, setting):
+        space, _, vip, oracle = setting
+        pts = sample_points(space, 14, seed=22)
+        for s, t in zip(pts[:7], pts[7:]):
+            expected = oracle.shortest_distance(s, t)
+            assert_valid_path(vip, vip.shortest_path(s, t), s, t, expected)
+
+    def test_door_to_door_paths(self, setting):
+        space, ip, vip, oracle = setting
+        step = max(1, space.num_doors // 8)
+        doors = list(range(0, space.num_doors, step))
+        for da, db in zip(doors, reversed(doors)):
+            if da == db:
+                continue
+            expected = oracle.shortest_distance(da, db)
+            for tree in (ip, vip):
+                res = tree.shortest_path(da, db)
+                assert res.distance == pytest.approx(expected, abs=1e-9)
+                assert res.doors[0] == da and res.doors[-1] == db
+                for x, y in zip(res.doors, res.doors[1:]):
+                    assert tree.d2d.has_edge(x, y)
+
+    def test_path_doors_never_repeat_consecutively(self, setting):
+        space, ip, vip, _ = setting
+        pts = sample_points(space, 10, seed=33)
+        for s, t in zip(pts[:5], pts[5:]):
+            for tree in (ip, vip):
+                doors = tree.shortest_path(s, t).doors
+                assert all(x != y for x, y in zip(doors, doors[1:]))
+
+
+class TestSpecialCases:
+    def test_same_partition_no_doors(self, fig1_space, fig1_iptree, fig1_viptree):
+        room = fig1_space.fixture_rooms[1][2]
+        s, t = IndoorPoint(room, 0.0, 0.0), IndoorPoint(room, 1.0, 1.0)
+        for tree in (fig1_iptree, fig1_viptree):
+            res = tree.shortest_path(s, t)
+            assert res.doors == []
+            assert res.distance == pytest.approx(2**0.5)
+
+    def test_same_door(self, fig1_iptree, fig1_viptree):
+        for tree in (fig1_iptree, fig1_viptree):
+            res = tree.shortest_path(3, 3)
+            assert res.distance == 0.0
+            assert res.doors == [3]
+
+    def test_same_leaf_path(self, fig1_space, fig1_iptree):
+        rooms = fig1_space.fixture_rooms[0]
+        s = IndoorPoint(rooms[0], 1.0, 1.5)
+        t = IndoorPoint(rooms[4], 14.0, 1.5)
+        res = fig1_iptree.shortest_path(s, t)
+        assert res.stats.same_leaf
+        assert len(res.doors) >= 2
+
+    def test_num_hops_property(self, fig1_iptree, fig1_space):
+        rooms = fig1_space.fixture_rooms
+        s = IndoorPoint(rooms[0][0], 1.0, 1.0)
+        t = IndoorPoint(rooms[3][3], 70.0, 1.0)
+        res = fig1_iptree.shortest_path(s, t)
+        assert res.num_hops == len(res.doors)
+
+
+class TestDecomposition:
+    def test_decompose_identity(self, fig1_iptree):
+        assert decompose_edge(fig1_iptree, 2, 2) == [2]
+
+    def test_decompose_endpoints_preserved(self, fig1_iptree, fig1_space):
+        # decompose between the two exterior doors (west/east ends)
+        ext = [d for d in range(fig1_space.num_doors) if fig1_space.is_exterior_door(d)]
+        seq = decompose_edge(fig1_iptree, ext[0], ext[1])
+        assert seq[0] == ext[0] and seq[-1] == ext[1]
+        for x, y in zip(seq, seq[1:]):
+            assert fig1_iptree.d2d.has_edge(x, y)
+
+    def test_decomposed_length_is_shortest(self, fig1_iptree, fig1_oracle, fig1_space):
+        ext = [d for d in range(fig1_space.num_doors) if fig1_space.is_exterior_door(d)]
+        seq = decompose_edge(fig1_iptree, ext[0], ext[1])
+        total = sum(
+            fig1_iptree.d2d.edge_weight(x, y) for x, y in zip(seq, seq[1:])
+        )
+        assert total == pytest.approx(
+            fig1_oracle.shortest_distance(ext[0], ext[1]), abs=1e-9
+        )
+
+    def test_vip_decompose_to(self, fig1_viptree, fig1_oracle):
+        tree = fig1_viptree
+        for door in range(0, tree.space.num_doors, 5):
+            store = tree.vip_store[door]
+            for target in list(store)[:4]:
+                seq = tree.decompose_to(door, target)
+                assert seq[0] == door and seq[-1] == target
+                total = sum(
+                    tree.d2d.edge_weight(x, y) for x, y in zip(seq, seq[1:])
+                )
+                assert total == pytest.approx(store[target][0], abs=1e-9)

@@ -1,0 +1,250 @@
+"""Structural invariants of the IP-Tree (leaves, merging, matrices)."""
+
+import pytest
+
+from repro import ConstructionError, IPTree, PartitionCategory
+from repro.core.leaves import build_leaves, leaf_access_doors, leaf_door_sets
+from repro.core.merging import create_next_level, merged_access_doors
+from repro.core.table import NO_DOOR, DistanceTable
+from repro.graph.dijkstra import dijkstra
+
+
+def naive_access_doors(space, leaves):
+    """Independent recomputation of Definition 1."""
+    leaf_of = {}
+    for idx, leaf in enumerate(leaves):
+        for pid in leaf:
+            leaf_of[pid] = idx
+    result = [set() for _ in leaves]
+    for did, owners in enumerate(space.door_partitions):
+        if len(owners) == 1:
+            result[leaf_of[owners[0]]].add(did)
+        elif leaf_of[owners[0]] != leaf_of[owners[1]]:
+            result[leaf_of[owners[0]]].add(did)
+            result[leaf_of[owners[1]]].add(did)
+    return [sorted(r) for r in result]
+
+
+class TestLeaves:
+    def test_every_partition_in_exactly_one_leaf(self, fig1_space):
+        leaves = build_leaves(fig1_space)
+        seen = [pid for leaf in leaves for pid in leaf]
+        assert sorted(seen) == list(range(fig1_space.num_partitions))
+
+    def test_rule_ii_one_hallway_per_leaf(self, fig1_space):
+        leaves = build_leaves(fig1_space)
+        for leaf in leaves:
+            hallways = [
+                pid
+                for pid in leaf
+                if fig1_space.category(pid) is PartitionCategory.HALLWAY
+            ]
+            assert len(hallways) <= 1
+
+    def test_hallways_seed_leaves(self, fig1_space):
+        leaves = build_leaves(fig1_space)
+        assert len(leaves) == len(fig1_space.fixture_halls)
+
+    def test_rooms_join_adjacent_hallway(self, fig1_space):
+        leaves = build_leaves(fig1_space)
+        leaf_of = {pid: i for i, leaf in enumerate(leaves) for pid in leaf}
+        for h, hall in enumerate(fig1_space.fixture_halls):
+            for room in fig1_space.fixture_rooms[h]:
+                assert leaf_of[room] == leaf_of[hall]
+
+    def test_access_doors_match_naive(self, fig1_space, tower_space, mall_space):
+        for space in (fig1_space, tower_space, mall_space):
+            leaves = build_leaves(space)
+            assert leaf_access_doors(space, leaves) == naive_access_doors(space, leaves)
+
+    def test_leaf_door_sets_cover_partition_doors(self, fig1_space):
+        leaves = build_leaves(fig1_space)
+        doorsets = leaf_door_sets(fig1_space, leaves)
+        for leaf, doors in zip(leaves, doorsets):
+            expected = set()
+            for pid in leaf:
+                expected.update(fig1_space.partitions[pid].door_ids)
+            assert sorted(expected) == doors
+
+    def test_no_hallway_venue_single_leaf(self):
+        from repro import IndoorSpaceBuilder
+
+        b = IndoorSpaceBuilder()
+        rooms = [b.add_room(floor=0) for _ in range(4)]
+        for i in range(3):
+            b.add_door(rooms[i], rooms[i + 1], x=float(i), y=0.0)
+        b.add_exterior_door(rooms[0], x=-1, y=0)
+        leaves = build_leaves(b.build())
+        assert leaves == [[0, 1, 2, 3]]
+
+
+class TestMerging:
+    def test_t_below_two_raises(self):
+        with pytest.raises(ConstructionError):
+            create_next_level([frozenset({1})], frozenset(), t=1)
+
+    def test_merging_reduces_node_count(self):
+        ads = [frozenset({0, 1}), frozenset({1, 2}), frozenset({2, 3}), frozenset({3, 0})]
+        groups = create_next_level(ads, frozenset(), t=2)
+        assert len(groups) < 4
+        assert sorted(i for g in groups for i in g) == [0, 1, 2, 3]
+
+    def test_groups_meet_min_degree(self):
+        ads = [frozenset({i, i + 1}) for i in range(6)]
+        groups = create_next_level(ads, frozenset(), t=3)
+        for g in groups:
+            assert len(g) >= 3 or len(groups) == 1
+
+    def test_prefers_highest_common_access_doors(self):
+        # node 0 shares two doors with node 1, one door with node 2
+        ads = [
+            frozenset({0, 1, 9}),
+            frozenset({0, 1, 8}),
+            frozenset({9, 7}),
+            frozenset({8, 7}),
+        ]
+        groups = create_next_level(ads, frozenset(), t=2)
+        merged_with_0 = next(g for g in groups if 0 in g)
+        assert 1 in merged_with_0
+
+    def test_merged_access_doors_cancels_common(self):
+        ads = [frozenset({0, 1}), frozenset({1, 2})]
+        assert merged_access_doors(ads, frozenset(), [0, 1]) == frozenset({0, 2})
+
+    def test_merged_access_doors_keeps_exterior(self):
+        ads = [frozenset({0, 1}), frozenset({1, 2})]
+        assert merged_access_doors(ads, frozenset({1}), [0, 1]) == frozenset({0, 1, 2})
+
+    def test_single_node_passthrough(self):
+        assert create_next_level([frozenset({0})], frozenset(), t=2) == [[0]]
+
+
+class TestDistanceTable:
+    def test_set_and_get(self):
+        t = DistanceTable([1, 2, 3], [2, 3])
+        t.set_entry(1, 2, 5.0, hop=3)
+        assert t.distance(1, 2) == 5.0
+        assert t.next_hop(1, 2) == 3
+
+    def test_default_entries(self):
+        t = DistanceTable([1], [2])
+        assert t.distance(1, 2) == float("inf")
+        assert t.next_hop(1, 2) == NO_DOOR
+        assert not t.is_complete()
+
+    def test_covers(self):
+        t = DistanceTable([1, 2], [2])
+        assert t.covers(1, 2)
+        assert not t.covers(2, 1)
+
+    def test_row_distances(self):
+        t = DistanceTable([1], [2, 3])
+        t.set_entry(1, 2, 1.0)
+        t.set_entry(1, 3, 2.0)
+        assert t.row_distances(1) == {2: 1.0, 3: 2.0}
+
+    def test_memory_scales_with_entries(self):
+        small = DistanceTable([1], [2]).memory_bytes()
+        big = DistanceTable(list(range(10)), list(range(10, 20))).memory_bytes()
+        assert big == 100 * small
+
+
+class TestTreeInvariants:
+    @pytest.fixture(scope="class", params=["fig1", "tower", "mall", "office", "campus"])
+    def tree(self, request, all_fixture_spaces):
+        return IPTree.build(all_fixture_spaces[request.param])
+
+    def test_single_root(self, tree):
+        roots = [n for n in tree.nodes if n.parent is None]
+        assert [n.nid for n in roots] == [tree.root_id]
+
+    def test_parent_child_consistency(self, tree):
+        for node in tree.nodes:
+            for cid in node.children:
+                assert tree.nodes[cid].parent == node.nid
+
+    def test_leaf_partitions_partition_the_space(self, tree):
+        seen = sorted(
+            pid for n in tree.nodes if n.is_leaf for pid in n.partitions
+        )
+        assert seen == list(range(tree.space.num_partitions))
+
+    def test_levels_increase_upward(self, tree):
+        for node in tree.nodes:
+            for cid in node.children:
+                assert tree.nodes[cid].level == node.level - 1
+
+    def test_matrices_complete(self, tree):
+        for node in tree.nodes:
+            assert node.table is not None
+            assert node.table.is_complete()
+
+    def test_access_doors_subset_of_matrix(self, tree):
+        for node in tree.nodes:
+            if node.is_leaf:
+                for a in node.access_doors:
+                    assert a in node.table.col_index
+                    assert a in node.table.row_index
+            else:
+                for a in node.access_doors:
+                    assert a in node.table.row_index
+
+    def test_matrix_distances_are_exact(self, tree):
+        """Core correctness: every stored entry equals the true D2D
+        shortest distance (leaf matrices AND level-graph matrices)."""
+        for node in tree.nodes:
+            table = node.table
+            for row in table.row_doors[:6]:
+                dist, _ = dijkstra(tree.d2d, row, targets=set(table.col_doors))
+                for col in table.col_doors:
+                    assert table.distance(row, col) == pytest.approx(
+                        dist[col], abs=1e-9
+                    )
+
+    def test_chains_reach_root(self, tree):
+        for node in tree.nodes:
+            if node.is_leaf:
+                chain = tree.chain_of_leaf(node.nid)
+                assert chain[0] == node.nid
+                assert chain[-1] == tree.root_id
+
+    def test_lca_info(self, tree):
+        leaves = [n.nid for n in tree.nodes if n.is_leaf]
+        if len(leaves) < 2:
+            pytest.skip("single-leaf venue")
+        lca, ns, nt = tree.lca_info(leaves[0], leaves[-1])
+        assert ns in tree.nodes[lca].children
+        assert nt in tree.nodes[lca].children
+        assert lca in tree.chain_of_leaf(leaves[0])
+        assert lca in tree.chain_of_leaf(leaves[-1])
+
+    def test_lca_same_leaf_raises(self, tree):
+        leaves = [n.nid for n in tree.nodes if n.is_leaf]
+        with pytest.raises(ValueError):
+            tree.lca_info(leaves[0], leaves[0])
+
+    def test_stats_fields(self, tree):
+        s = tree.stats()
+        assert s.num_leaves == sum(1 for n in tree.nodes if n.is_leaf)
+        assert s.height == tree.root.level
+        assert 0 < s.avg_access_doors <= s.max_access_doors
+
+    def test_memory_positive_and_additive(self, tree):
+        assert 0 < tree.memory_bytes() < tree.total_memory_bytes()
+
+
+class TestMinDegree:
+    def test_invalid_t(self, fig1_space):
+        with pytest.raises(ConstructionError):
+            IPTree.build(fig1_space, t=1)
+
+    def test_higher_t_fewer_levels(self, office_space):
+        t2 = IPTree.build(office_space, t=2)
+        t4 = IPTree.build(office_space, t=4)
+        assert t4.root.level <= t2.root.level
+
+    def test_non_root_nodes_have_min_degree(self, office_space):
+        tree = IPTree.build(office_space, t=3)
+        for node in tree.nodes:
+            if node.nid != tree.root_id and not node.is_leaf:
+                assert len(node.children) >= 2  # >= t except isolated fallbacks

@@ -1,0 +1,103 @@
+"""The verify_tree audit: passes on good trees, catches corruption."""
+
+import pytest
+
+from repro import IPTree, VIPTree
+from repro.core.validate import verify_tree
+
+
+class TestCleanTrees:
+    def test_iptree_passes(self, fig1_iptree):
+        report = verify_tree(fig1_iptree)
+        assert report.ok, report.errors
+        assert report.checks_run > 0
+
+    def test_viptree_passes(self, tower_viptree):
+        report = verify_tree(tower_viptree)
+        assert report.ok, report.errors
+
+    @pytest.mark.parametrize("name", ["mall", "office", "campus"])
+    def test_generator_venues_pass(self, name, all_fixture_spaces):
+        tree = VIPTree.build(all_fixture_spaces[name])
+        report = verify_tree(tree)
+        assert report.ok, report.errors
+
+    def test_ablation_tree_passes(self, tower_space):
+        tree = IPTree.build(tower_space, use_superior_doors=False)
+        report = verify_tree(tree)
+        assert report.ok, report.errors
+
+
+class TestCorruptionDetected:
+    def _fresh(self, space):
+        return VIPTree.build(space)
+
+    def test_detects_bad_matrix_entry(self, tower_space):
+        tree = self._fresh(tower_space)
+        node = next(n for n in tree.nodes if n.is_leaf and n.access_doors)
+        row = node.table.row_doors[0]
+        col = node.table.col_doors[-1]
+        if row == col:
+            row = node.table.row_doors[1]
+        node.table.set_entry(row, col, 12345.0)
+        report = verify_tree(tree, matrix_samples=len(node.table.row_doors))
+        assert not report.ok
+
+    def test_detects_broken_parent_pointer(self, tower_space):
+        tree = self._fresh(tower_space)
+        child = tree.nodes[tree.root_id].children[0]
+        tree.nodes[child].parent = child  # corrupt
+        report = verify_tree(tree)
+        assert not report.ok
+
+    def test_detects_missing_access_door(self, tower_space):
+        tree = self._fresh(tower_space)
+        node = next(n for n in tree.nodes if n.is_leaf and n.access_doors)
+        node.access_doors = node.access_doors[:-1]
+        report = verify_tree(tree)
+        assert not report.ok
+
+    def test_detects_vip_distance_corruption(self, tower_space):
+        tree = self._fresh(tower_space)
+        door = next(d for d in range(tree.space.num_doors) if tree.vip_store[d])
+        target = next(iter(tree.vip_store[door]))
+        dist, via = tree.vip_store[door][target]
+        tree.vip_store[door][target] = (dist + 99.0, via)
+        report = verify_tree(tree, matrix_samples=tree.space.num_doors)
+        assert not report.ok
+
+    def test_detects_empty_superior_doors(self, tower_space):
+        tree = self._fresh(tower_space)
+        tree.superior_doors[0] = []
+        report = verify_tree(tree)
+        assert not report.ok
+
+
+class TestAblationFlag:
+    def test_answers_identical(self, tower_space, tower_oracle):
+        from conftest import sample_points
+
+        full = IPTree.build(tower_space, use_superior_doors=True)
+        ablated = IPTree.build(tower_space, use_superior_doors=False)
+        pts = sample_points(tower_space, 10, seed=91)
+        for s, t in zip(pts[:5], pts[5:]):
+            expected = tower_oracle.shortest_distance(s, t)
+            assert full.shortest_distance(s, t) == pytest.approx(expected, abs=1e-9)
+            assert ablated.shortest_distance(s, t) == pytest.approx(expected, abs=1e-9)
+
+    def test_ablated_considers_more_entry_doors(self, tower_space):
+        ablated = IPTree.build(tower_space, use_superior_doors=False)
+        full = IPTree.build(tower_space, use_superior_doors=True)
+        total_full = sum(len(s) for s in full.superior_doors)
+        total_ablated = sum(len(s) for s in ablated.superior_doors)
+        assert total_ablated > total_full
+
+    def test_vip_supports_ablation(self, tower_space, tower_oracle):
+        from conftest import sample_points
+
+        vip = VIPTree.build(tower_space, use_superior_doors=False)
+        pts = sample_points(tower_space, 6, seed=92)
+        for s, t in zip(pts[:3], pts[3:]):
+            assert vip.shortest_distance(s, t) == pytest.approx(
+                tower_oracle.shortest_distance(s, t), abs=1e-9
+            )

@@ -1,0 +1,108 @@
+"""VIP-Tree internals: materialization, O(αρ) lookups, storage."""
+
+import pytest
+
+from repro import IPTree, VIPTree
+from repro.core.query_distance import Endpoint
+from repro.core.viptree import VIA_BASE, VIA_SELF
+from repro.graph.dijkstra import dijkstra
+
+from conftest import sample_points
+
+
+@pytest.fixture(scope="module", params=["fig1", "tower", "office"])
+def vip(request, all_fixture_spaces):
+    return VIPTree.build(all_fixture_spaces[request.param])
+
+
+class TestMaterialization:
+    def test_covers_all_ancestor_access_doors(self, vip):
+        for door in range(vip.space.num_doors):
+            store = vip.vip_store[door]
+            for leaf_id in vip.leaf_nodes_of_door[door]:
+                for nid in vip.chain_of_leaf(leaf_id):
+                    for a in vip.nodes[nid].access_doors:
+                        assert a in store, (door, nid, a)
+
+    def test_distances_exact(self, vip):
+        step = max(1, vip.space.num_doors // 8)
+        for door in range(0, vip.space.num_doors, step):
+            store = vip.vip_store[door]
+            if not store:
+                continue
+            dist, _ = dijkstra(vip.d2d, door, targets=set(store))
+            for a, (d, _via) in store.items():
+                assert d == pytest.approx(dist[a], abs=1e-9)
+
+    def test_via_sentinels_valid(self, vip):
+        for door in range(vip.space.num_doors):
+            for a, (_d, via) in vip.vip_store[door].items():
+                assert via in (VIA_BASE, VIA_SELF) or 0 <= via < vip.space.num_doors
+                if via >= 0:
+                    # the via door is itself materialized for this door
+                    assert via in vip.vip_store[door]
+
+    def test_leaf_access_doors_are_base(self, vip):
+        # For single-leaf doors the leaf's access doors must carry the
+        # BASE sentinel; two-leaf doors may have picked up an equivalent
+        # via entry while climbing the first leaf's chain (the distance
+        # is identical and still decomposable, see decompose_to tests).
+        for door in range(vip.space.num_doors):
+            leaves = vip.leaf_nodes_of_door[door]
+            if len(leaves) != 1:
+                continue
+            store = vip.vip_store[door]
+            for a in vip.nodes[leaves[0]].access_doors:
+                assert store[a][1] == VIA_BASE
+
+    def test_self_distance_zero(self, vip):
+        for door in range(vip.space.num_doors):
+            store = vip.vip_store[door]
+            if door in store:
+                assert store[door][0] == 0.0
+
+
+class TestEndpointDistances:
+    def test_matches_iptree_algorithm2(self, vip, all_fixture_spaces):
+        """VIP's O(αρ) lookup returns the same values as IP's climb."""
+        space = vip.space
+        ip = IPTree.build(space, d2d=vip.d2d)
+        for q in sample_points(space, 6, seed=50):
+            ep_vip = Endpoint(vip, q)
+            ep_ip = Endpoint(ip, q)
+            known_vip, _, _ = vip.endpoint_distances(ep_vip, vip.root_id)
+            known_ip, _, _ = ip.endpoint_distances(ep_ip, ip.root_id)
+            # tree shapes are identical (same build inputs)
+            assert set(known_vip) == set(known_ip)
+            for a in known_vip:
+                assert known_vip[a] == pytest.approx(known_ip[a], abs=1e-9)
+
+    def test_collect_chain_snapshots(self, vip):
+        q = sample_points(vip.space, 1, seed=51)[0]
+        ep = Endpoint(vip, q)
+        leaf = ep.leaves[0]
+        _, _, chain_map = vip.endpoint_distances(
+            ep, vip.root_id, leaf_id=leaf, collect_chain=True
+        )
+        assert set(chain_map) == set(vip.chain_of_leaf(leaf))
+        for nid, dists in chain_map.items():
+            assert set(dists) == set(vip.nodes[nid].access_doors)
+
+
+class TestStorage:
+    def test_vip_memory_exceeds_ip(self, vip):
+        ip = IPTree.build(vip.space, d2d=vip.d2d)
+        assert vip.memory_bytes() > ip.memory_bytes()
+
+    def test_store_size_matches_complexity(self, vip):
+        """O(rho * D * log M): every door's store is bounded by the chain
+        length times the max access doors per node (for both leaves)."""
+        stats = vip.stats()
+        height = stats.height
+        bound = 2 * height * stats.max_access_doors + 2
+        for door in range(vip.space.num_doors):
+            assert len(vip.vip_store[door]) <= bound
+
+    def test_index_name(self, vip):
+        assert vip.index_name == "VIP-Tree"
+        assert IPTree.build(vip.space, d2d=vip.d2d).index_name == "IP-Tree"

@@ -1,0 +1,109 @@
+"""Workload generators: determinism, validity, distance bucketing."""
+
+import pytest
+
+from repro.baselines import DijkstraOracle
+from repro.datasets import (
+    distance_bucketed_pairs,
+    random_objects,
+    random_pairs,
+)
+from repro.datasets.workloads import _samplable_partitions, random_point
+from repro.model.entities import PartitionKind
+from repro.model.geometry import Rect
+
+import random
+
+
+class TestRandomPoints:
+    def test_points_in_valid_partitions(self, mall_space):
+        rng = random.Random(1)
+        for _ in range(40):
+            p = random_point(mall_space, rng)
+            part = mall_space.partitions[p.partition_id]
+            assert part.kind in (PartitionKind.ROOM, PartitionKind.HALLWAY)
+
+    def test_points_inside_footprints(self, mall_space):
+        rng = random.Random(2)
+        for _ in range(40):
+            p = random_point(mall_space, rng)
+            fp = mall_space.partitions[p.partition_id].footprint
+            if isinstance(fp, Rect):
+                assert fp.contains(p.x, p.y)
+
+    def test_samplable_excludes_connectors(self, tower_space):
+        pids = _samplable_partitions(tower_space)
+        for pid in pids:
+            assert tower_space.partitions[pid].kind in (
+                PartitionKind.ROOM,
+                PartitionKind.HALLWAY,
+            )
+
+
+class TestRandomPairs:
+    def test_count_and_determinism(self, mall_space):
+        a = random_pairs(mall_space, 25, seed=4)
+        b = random_pairs(mall_space, 25, seed=4)
+        assert len(a) == 25
+        assert a == b
+
+    def test_seed_variation(self, mall_space):
+        assert random_pairs(mall_space, 10, seed=1) != random_pairs(
+            mall_space, 10, seed=2
+        )
+
+
+class TestRandomObjects:
+    def test_count(self, mall_space):
+        objs = random_objects(mall_space, 12, seed=6)
+        assert len(objs) == 12
+
+    def test_distinct_partitions_when_possible(self, mall_space):
+        objs = random_objects(mall_space, 10, seed=7)
+        assert len(objs.partitions()) == 10
+
+    def test_more_objects_than_partitions(self, fig1_space):
+        count = fig1_space.num_partitions + 5
+        objs = random_objects(fig1_space, count, seed=8)
+        assert len(objs) == count
+
+    def test_category_label(self, mall_space):
+        objs = random_objects(mall_space, 3, seed=9, category="atm")
+        assert all(o.category == "atm" for o in objs)
+        assert objs[0].label.startswith("atm-")
+
+    def test_deterministic(self, mall_space):
+        a = random_objects(mall_space, 5, seed=10)
+        b = random_objects(mall_space, 5, seed=10)
+        assert [o.location for o in a] == [o.location for o in b]
+
+
+class TestDistanceBuckets:
+    def test_pairs_fall_in_their_bucket(self, fig1_space, fig1_iptree):
+        oracle = DijkstraOracle(fig1_space, fig1_iptree.d2d)
+        buckets = distance_bucketed_pairs(
+            fig1_space, per_bucket=4, buckets=3, seed=11, d2d=fig1_iptree.d2d
+        )
+        assert len(buckets) == 3
+        from repro.graph.dijkstra import pseudo_diameter
+
+        dmax = pseudo_diameter(fig1_iptree.d2d) * 1.05
+        width = dmax / 3
+        for i, bucket in enumerate(buckets):
+            for s, t in bucket:
+                d = oracle.shortest_distance(s, t)
+                lo = i * width
+                hi = (i + 1) * width if i < 2 else float("inf")
+                assert lo - 1e-6 <= d <= hi + 1e-6
+
+    def test_buckets_filled_near_capacity(self, fig1_space, fig1_iptree):
+        buckets = distance_bucketed_pairs(
+            fig1_space, per_bucket=3, buckets=3, seed=12, d2d=fig1_iptree.d2d
+        )
+        # middle buckets always fill; extremes may be thin
+        assert sum(len(b) for b in buckets) >= 3
+
+    def test_deterministic(self, fig1_space, fig1_iptree):
+        a = distance_bucketed_pairs(fig1_space, 2, buckets=2, seed=13, d2d=fig1_iptree.d2d)
+        b = distance_bucketed_pairs(fig1_space, 2, buckets=2, seed=13, d2d=fig1_iptree.d2d)
+        assert a == b
