@@ -1,0 +1,17 @@
+"""Shared configuration for the pytest-benchmark suites.
+
+Kept out of ``conftest.py`` so benchmark modules can import it by a
+unique module name — ``from conftest import ...`` resolves whichever
+``conftest.py`` pytest imported first and silently collides with
+``tests/conftest.py`` when both suites are collected together.
+"""
+
+from __future__ import annotations
+
+import os
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+
+#: venue each figure benchmarks by default (the paper's workhorse is
+#: Men-2; every suite also covers MC for a second size point)
+BENCH_VENUES = ("MC", "Men-2")

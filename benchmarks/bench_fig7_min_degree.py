@@ -6,7 +6,7 @@ import pytest
 from repro import VIPTree
 from repro.bench.harness import VenueContext
 
-from conftest import PROFILE
+from bench_common import PROFILE
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,7 @@ import pytest
 from repro.datasets import PAPER_TABLE2, load_venue, venue_row
 from repro.model.d2d import build_d2d_graph
 
-from conftest import PROFILE
+from bench_common import PROFILE
 
 
 @pytest.mark.parametrize("name", ["MC", "Men", "CL"])

@@ -5,21 +5,18 @@ finishes in minutes under pure Python; set ``REPRO_BENCH_PROFILE=small``
 (or ``paper``) for larger runs. The full paper-style sweeps live in
 ``python -m repro.bench`` — these suites benchmark the same operations
 per table/figure with pytest-benchmark statistics.
+
+Shared constants live in :mod:`bench_common`; this file only defines
+fixtures (see the note there about conftest name collisions).
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from bench_common import BENCH_VENUES, PROFILE
+
 from repro.bench.harness import VenueContext
-
-PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "tiny")
-
-#: venue each figure benchmarks by default (the paper's workhorse is
-#: Men-2; every suite also covers MC for a second size point)
-BENCH_VENUES = ("MC", "Men-2")
 
 
 @pytest.fixture(scope="session")

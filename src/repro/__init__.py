@@ -37,6 +37,7 @@ from .core import (
     Neighbor,
     ObjectIndex,
     PathResult,
+    QueryContext,
     QueryStats,
     TreeStats,
     VIPTree,
@@ -87,6 +88,7 @@ __all__ = [
     "PartitionKind",
     "PathResult",
     "Point",
+    "QueryContext",
     "QueryError",
     "QueryStats",
     "Rect",

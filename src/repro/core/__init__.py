@@ -1,5 +1,6 @@
 """The paper's primary contribution: IP-Tree / VIP-Tree and query processing."""
 
+from .context import QueryContext, endpoint_key
 from .objects_index import ObjectIndex
 from .results import DistanceResult, Neighbor, PathResult, QueryStats
 from .table import NO_DOOR, DistanceTable
@@ -16,8 +17,10 @@ __all__ = [
     "Neighbor",
     "ObjectIndex",
     "PathResult",
+    "QueryContext",
     "QueryStats",
     "TreeNode",
+    "endpoint_key",
     "TreeStats",
     "VIPTree",
     "VerificationReport",

@@ -20,29 +20,41 @@ from .query_distance import Endpoint
 from .results import Neighbor, QueryStats
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .context import QueryContext
     from .tree import IPTree
 
 INF = float("inf")
 
 
 class _Search:
-    """Shared machinery for kNN and range queries."""
+    """Shared machinery for kNN and range queries.
 
-    def __init__(self, tree: "IPTree", index: ObjectIndex, query) -> None:
+    With a :class:`QueryContext` the root climb and every previously
+    expanded node's distances are shared across searches from the same
+    endpoint (the search keeps growing the cached state as it expands
+    new nodes).
+    """
+
+    def __init__(
+        self, tree: "IPTree", index: ObjectIndex, query, ctx: "QueryContext | None" = None
+    ) -> None:
         if index.tree is not tree:
             raise QueryError("object index was built for a different tree")
         self.tree = tree
         self.index = index
-        self.endpoint = Endpoint(tree, query)
+        self.endpoint = ctx.resolve(query) if ctx is not None else Endpoint(tree, query)
         self.leaf_q = self.endpoint.leaves[0]
         self.chain = tree.chain_of_leaf(self.leaf_q)
         self.chain_pos = {nid: i for i, nid in enumerate(self.chain)}
         # Distances from q to the access doors of every chain node
         # (Algorithm 5 line 2: getDistances(q, root)).
-        _, _, chain_map = tree.endpoint_distances(
-            self.endpoint, tree.root_id, leaf_id=self.leaf_q, collect_chain=True
-        )
-        self.node_dists: dict[int, dict[int, float]] = dict(chain_map)
+        if ctx is not None:
+            self.node_dists: dict[int, dict[int, float]] = ctx.search_state(self.endpoint)
+        else:
+            _, _, chain_map = tree.endpoint_distances(
+                self.endpoint, tree.root_id, leaf_id=self.leaf_q, collect_chain=True
+            )
+            self.node_dists = dict(chain_map)
         self.stats = QueryStats()
 
     # ------------------------------------------------------------------
@@ -126,11 +138,13 @@ class _Search:
             yield from ((d, oid) for oid, d in best_per_obj.items())
 
 
-def knn(tree: "IPTree", index: ObjectIndex, query, k: int) -> list[Neighbor]:
+def knn(
+    tree: "IPTree", index: ObjectIndex, query, k: int, ctx: "QueryContext | None" = None
+) -> list[Neighbor]:
     """Algorithm 5: the k nearest objects to ``query`` by indoor distance."""
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
-    search = _Search(tree, index, query)
+    search = _Search(tree, index, query, ctx)
     stats = search.stats
 
     results: list[tuple[float, int]] = []  # max-heap via negated distance

@@ -16,16 +16,17 @@ from .query_knn import _Search
 from .results import Neighbor
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .context import QueryContext
     from .tree import IPTree
 
 
 def range_query(
-    tree: "IPTree", index: ObjectIndex, query, radius: float
+    tree: "IPTree", index: ObjectIndex, query, radius: float, ctx: "QueryContext | None" = None
 ) -> list[Neighbor]:
     """All objects within ``radius`` of ``query``, sorted by distance."""
     if radius < 0:
         raise QueryError(f"radius must be non-negative, got {radius}")
-    search = _Search(tree, index, query)
+    search = _Search(tree, index, query, ctx)
     stats = search.stats
 
     found: list[tuple[float, int]] = []

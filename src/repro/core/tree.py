@@ -401,31 +401,31 @@ class IPTree:
 
         return get_distances(self, endpoint, target_node, leaf_id, collect_chain)
 
-    def shortest_distance(self, source, target) -> float:
+    def shortest_distance(self, source, target, ctx=None) -> float:
         from .query_distance import shortest_distance
 
-        return shortest_distance(self, source, target).distance
+        return shortest_distance(self, source, target, ctx).distance
 
-    def distance_query(self, source, target):
+    def distance_query(self, source, target, ctx=None):
         """Shortest distance with query statistics (QueryResult)."""
         from .query_distance import shortest_distance
 
-        return shortest_distance(self, source, target)
+        return shortest_distance(self, source, target, ctx)
 
-    def shortest_path(self, source, target):
+    def shortest_path(self, source, target, ctx=None):
         from .query_path import shortest_path
 
-        return shortest_path(self, source, target)
+        return shortest_path(self, source, target, ctx)
 
-    def knn(self, object_index, query, k: int):
+    def knn(self, object_index, query, k: int, ctx=None):
         from .query_knn import knn
 
-        return knn(self, object_index, query, k)
+        return knn(self, object_index, query, k, ctx)
 
-    def range_query(self, object_index, query, radius: float):
+    def range_query(self, object_index, query, radius: float, ctx=None):
         from .query_range import range_query
 
-        return range_query(self, object_index, query, radius)
+        return range_query(self, object_index, query, radius, ctx)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -16,7 +16,10 @@ from .replicate import replicate_space
 from .stats import PAPER_TABLE2, table2, venue_row
 from .venues import VENUE_NAMES, load_venue
 from .workloads import (
+    DEFAULT_MIX,
+    MixedQuery,
     distance_bucketed_pairs,
+    mixed_queries,
     random_objects,
     random_pairs,
     random_point,
@@ -25,8 +28,10 @@ from .workloads import (
 __all__ = [
     "CAMPUS_PROFILES",
     "CampusProfile",
+    "DEFAULT_MIX",
     "MALL_PROFILES",
     "MallProfile",
+    "MixedQuery",
     "OFFICE_PROFILES",
     "OfficeProfile",
     "PAPER_TABLE2",
@@ -37,6 +42,7 @@ __all__ = [
     "build_office",
     "distance_bucketed_pairs",
     "load_venue",
+    "mixed_queries",
     "random_objects",
     "random_pairs",
     "random_point",

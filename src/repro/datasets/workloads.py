@@ -4,7 +4,9 @@
   down with the venue profile),
 * distance-bucketed pairs Q1..Q5 over [0, d_max] for Fig 10(b),
 * random object sets (the paper uses washrooms; synthetic sets of
-  10/50/100/500 objects for Fig 11(b)).
+  10/50/100/500 objects for Fig 11(b)),
+* weighted mixed-query streams (kNN/distance/range/path) for the
+  :mod:`repro.engine` throughput driver.
 
 Everything is deterministic given a seed.
 """
@@ -12,6 +14,7 @@ Everything is deterministic given a seed.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
 from ..model.d2d import build_d2d_graph
 from ..model.entities import IndoorPoint, PartitionKind
@@ -129,4 +132,97 @@ def distance_bucketed_pairs(
         idx = min(buckets - 1, int(d / width)) if width > 0 else 0
         if len(out[idx]) < per_bucket:
             out[idx].append((s, t))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Mixed workloads (engine throughput driver)
+# ----------------------------------------------------------------------
+
+#: default query mix: the kNN-heavy shape of a deployed venue service
+DEFAULT_MIX = {"knn": 0.7, "distance": 0.2, "range": 0.1}
+
+MIX_KINDS = ("distance", "path", "knn", "range")
+
+
+@dataclass(slots=True)
+class MixedQuery:
+    """One query of a mixed workload stream.
+
+    ``kind`` selects which fields matter: ``distance``/``path`` use
+    ``source`` and ``target``; ``knn`` uses ``source`` and ``k``;
+    ``range`` uses ``source`` and ``radius``.
+    """
+
+    kind: str
+    source: IndoorPoint
+    target: IndoorPoint | None = None
+    k: int = 0
+    radius: float = 0.0
+
+
+def mixed_queries(
+    space: IndoorSpace,
+    count: int,
+    mix: dict[str, float] | None = None,
+    seed: int = 29,
+    *,
+    pool: int | None = 32,
+    k: int = 5,
+    radius: float | None = None,
+    d2d: Graph | None = None,
+) -> list[MixedQuery]:
+    """A weighted stream of mixed queries (e.g. 70% kNN / 20% distance /
+    10% range) for throughput measurements.
+
+    Args:
+        space: the venue to query.
+        count: stream length.
+        mix: kind -> weight (normalized; kinds from :data:`MIX_KINDS`).
+            Defaults to :data:`DEFAULT_MIX`.
+        seed: deterministic stream seed.
+        pool: number of distinct endpoint locations queries draw from —
+            real deployments hit popular locations repeatedly, which is
+            what makes result/endpoint caches effective. ``None``
+            samples a fresh point per endpoint (no reuse).
+        k: the k of every kNN query.
+        radius: the radius of every range query; defaults to 20% of the
+            venue's pseudo-diameter.
+        d2d: optional prebuilt D2D graph (only needed for the default
+            radius estimate).
+    """
+    if mix is None:
+        mix = DEFAULT_MIX
+    unknown = set(mix) - set(MIX_KINDS)
+    if unknown:
+        raise ValueError(f"unknown workload kinds {sorted(unknown)}; expected {MIX_KINDS}")
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("mix weights must sum to a positive value")
+
+    rng = random.Random(seed)
+    partitions = _samplable_partitions(space)
+    if radius is None and "range" in mix and mix["range"] > 0:
+        if d2d is None:
+            d2d = build_d2d_graph(space)
+        radius = 0.2 * pseudo_diameter(d2d)
+    if radius is None:
+        radius = 0.0
+
+    if pool is not None:
+        points = [random_point(space, rng, partitions) for _ in range(max(1, pool))]
+        pick = lambda: rng.choice(points)  # noqa: E731
+    else:
+        pick = lambda: random_point(space, rng, partitions)  # noqa: E731
+
+    kinds = sorted(mix)  # deterministic order for rng.choices
+    weights = [mix[kd] for kd in kinds]
+    out: list[MixedQuery] = []
+    for kind in rng.choices(kinds, weights=weights, k=count):
+        if kind in ("distance", "path"):
+            out.append(MixedQuery(kind, pick(), target=pick()))
+        elif kind == "knn":
+            out.append(MixedQuery(kind, pick(), k=k))
+        else:
+            out.append(MixedQuery(kind, pick(), radius=radius))
     return out

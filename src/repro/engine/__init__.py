@@ -1,0 +1,22 @@
+"""Batch query engine: uniform index front end with caching + workloads.
+
+* :class:`QueryEngine` — wraps any built index (IP-Tree, VIP-Tree or a
+  baseline) behind one distance/path/kNN/range API with batch endpoints
+  and LRU result caches,
+* :class:`LRUCache` — the bounded cache primitive,
+* :func:`replay` / :class:`WorkloadReport` — mixed-workload throughput
+  driver (generate the streams with
+  :func:`repro.datasets.workloads.mixed_queries`).
+"""
+
+from .cache import LRUCache
+from .engine import EngineStats, QueryEngine
+from .workload import WorkloadReport, replay
+
+__all__ = [
+    "EngineStats",
+    "LRUCache",
+    "QueryEngine",
+    "WorkloadReport",
+    "replay",
+]

@@ -1,0 +1,72 @@
+"""A small LRU cache with hit/miss counters.
+
+Used by :class:`~repro.engine.engine.QueryEngine` for its result caches
+(door-to-door distances, kNN/range/path results) and usable as a bounded
+backing store for :class:`~repro.core.context.QueryContext`. Exposes the
+mapping subset those callers need: ``get``, ``__setitem__``,
+``__contains__`` and ``__len__``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class LRUCache:
+    """Bounded mapping evicting the least-recently-used entry.
+
+    ``get`` counts a hit (and refreshes recency) or a miss; ``peek``
+    does neither. ``maxsize <= 0`` means unbounded.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_data")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default=None):
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def peek(self, key: Hashable, default=None):
+        """Read without touching recency or counters."""
+        return self._data.get(key, default)
+
+    def __setitem__(self, key: Hashable, value) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if self.maxsize > 0:
+            while len(data) > self.maxsize:
+                data.popitem(last=False)
+                self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop all entries; counters are preserved (they are lifetime
+        totals, not occupancy)."""
+        self._data.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LRUCache(size={len(self._data)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,390 @@
+"""QueryEngine: a uniform, cache-accelerated front end for any index.
+
+The engine wraps one built index — :class:`~repro.core.tree.IPTree`,
+:class:`~repro.core.viptree.VIPTree`, or any baseline from
+:mod:`repro.baselines` — behind one API:
+
+* ``distance`` / ``path`` / ``knn`` / ``range_query`` — single queries,
+* ``batch_distance`` / ``batch_path`` / ``batch_knn`` / ``batch_range``
+  — request lists that amortize per-query setup (endpoint resolution,
+  leaf lookup, tree climbs) across the batch,
+* ``stats()`` — a monotone snapshot of query counts and cache hit/miss
+  counters.
+
+Two cache layers (both optional via ``cache=False``):
+
+* a :class:`~repro.core.context.QueryContext` shared with the core query
+  algorithms (endpoint resolution + tree-climb reuse, tree indexes
+  only), and
+* engine-level :class:`~repro.engine.cache.LRUCache` result caches: an
+  LRU **door-to-door / point-to-point distance cache** (symmetric keys)
+  plus kNN, range and path result caches.
+
+Caching never changes answers — batch results are element-wise identical
+to the single-query APIs, which in turn match the index called directly.
+Cached result objects are shared; treat them as immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from ..baselines.distmx import DistanceMatrix, DistMxObjects
+from ..baselines.oracle import DijkstraOracle
+from ..core.context import QueryContext, endpoint_key
+from ..core.objects_index import ObjectIndex
+from ..core.results import Neighbor, PathResult
+from ..core.tree import IPTree
+from ..exceptions import QueryError
+from .cache import LRUCache
+
+_MISSING = object()
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Monotone engine counters: per-kind query totals plus hit/miss
+    pairs for every cache layer. ``snapshot`` copies are safe to keep
+    around and compare across batches."""
+
+    distance_queries: int = 0
+    path_queries: int = 0
+    knn_queries: int = 0
+    range_queries: int = 0
+    #: engine-level LRU result caches
+    distance_hits: int = 0
+    distance_misses: int = 0
+    path_hits: int = 0
+    path_misses: int = 0
+    knn_hits: int = 0
+    knn_misses: int = 0
+    range_hits: int = 0
+    range_misses: int = 0
+    #: QueryContext layers (tree indexes only)
+    endpoint_hits: int = 0
+    endpoint_misses: int = 0
+    climb_hits: int = 0
+    climb_misses: int = 0
+    search_hits: int = 0
+    search_misses: int = 0
+
+    @property
+    def queries(self) -> int:
+        return (
+            self.distance_queries
+            + self.path_queries
+            + self.knn_queries
+            + self.range_queries
+        )
+
+    @property
+    def hits(self) -> int:
+        return (
+            self.distance_hits
+            + self.path_hits
+            + self.knn_hits
+            + self.range_hits
+        )
+
+    @property
+    def misses(self) -> int:
+        return (
+            self.distance_misses
+            + self.path_misses
+            + self.knn_misses
+            + self.range_misses
+        )
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def _sym_key(ka: tuple, kb: tuple) -> tuple:
+    """Order-independent pair key (indoor distance is symmetric)."""
+    return (ka, kb) if ka <= kb else (kb, ka)
+
+
+class QueryEngine:
+    """Serve streams of spatial queries against one built index.
+
+    Args:
+        index: a built :class:`IPTree`/:class:`VIPTree` or any baseline
+            exposing ``shortest_distance`` (and optionally
+            ``shortest_path``/``knn``/``range_query``).
+        objects: the points of interest for kNN/range queries — an
+            :class:`ObjectSet`, or a prebuilt :class:`ObjectIndex` for a
+            tree index. Omit for distance/path-only engines.
+        cache: master switch. ``False`` disables the query context and
+            every result cache (each call recomputes from scratch, like
+            calling the index directly).
+        distance_cache_size: LRU capacity of the distance result cache
+            (door-to-door and point pairs share it; keys are symmetric).
+        result_cache_size: LRU capacity of each of the kNN / range /
+            path result caches.
+        context_cache_size: LRU capacity of each of the query context's
+            endpoint / climb / search-state caches, so a long-lived
+            engine's memory stays bounded under endless distinct
+            endpoints. ``0`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        index,
+        objects=None,
+        *,
+        cache: bool = True,
+        distance_cache_size: int = 65536,
+        result_cache_size: int = 8192,
+        context_cache_size: int = 16384,
+    ) -> None:
+        self.index = index
+        self._is_tree = isinstance(index, IPTree)
+        self.cache_enabled = bool(cache)
+        self._context_cache_size = context_cache_size
+        self.ctx = self._new_ctx() if (self.cache_enabled and self._is_tree) else None
+        if self.cache_enabled:
+            self._dist_cache = LRUCache(distance_cache_size)
+            self._path_cache = LRUCache(result_cache_size)
+            self._knn_cache = LRUCache(result_cache_size)
+            self._range_cache = LRUCache(result_cache_size)
+        else:
+            self._dist_cache = None
+            self._path_cache = None
+            self._knn_cache = None
+            self._range_cache = None
+        self._counts = {"distance": 0, "path": 0, "knn": 0, "range": 0}
+
+        # Wire the object set into whatever the index understands.
+        self.object_index: ObjectIndex | None = None
+        self.objects = None
+        self._mx_objects: DistMxObjects | None = None
+        if objects is not None:
+            if isinstance(objects, ObjectIndex):
+                if self._is_tree and objects.tree is not index:
+                    raise QueryError("object index was built for a different tree")
+                self.objects = objects.objects
+                if self._is_tree:
+                    self.object_index = objects
+            else:
+                self.objects = objects
+            if self._is_tree and self.object_index is None:
+                self.object_index = ObjectIndex(index, self.objects)
+            elif isinstance(index, DistanceMatrix):
+                self._mx_objects = DistMxObjects(index, self.objects)
+            elif hasattr(index, "attach_objects"):
+                index.attach_objects(self.objects)
+
+    # ------------------------------------------------------------------
+    # Single-query API
+    # ------------------------------------------------------------------
+    def distance(self, source, target) -> float:
+        """Shortest indoor distance between two endpoints."""
+        return self._distance(source, target, self.ctx)
+
+    def path(self, source, target) -> PathResult:
+        """Shortest path; baselines' ``(distance, doors)`` tuples are
+        normalized into :class:`PathResult`."""
+        return self._path(source, target, self.ctx)
+
+    def knn(self, query, k: int) -> list[Neighbor]:
+        """The k nearest objects to ``query``."""
+        return self._knn(query, k, self.ctx)
+
+    def range_query(self, query, radius: float) -> list[Neighbor]:
+        """All objects within ``radius`` of ``query``."""
+        return self._range(query, radius, self.ctx)
+
+    # ------------------------------------------------------------------
+    # Batch API — amortizes endpoint resolution and tree climbs across
+    # the request list (a per-batch context is used even when the
+    # engine-level caches are disabled).
+    # ------------------------------------------------------------------
+    def batch_distance(self, pairs) -> list[float]:
+        ctx = self._batch_ctx()
+        return [self._distance(s, t, ctx) for s, t in pairs]
+
+    def batch_path(self, pairs) -> list[PathResult]:
+        ctx = self._batch_ctx()
+        return [self._path(s, t, ctx) for s, t in pairs]
+
+    def batch_knn(self, queries, k: int) -> list[list[Neighbor]]:
+        ctx = self._batch_ctx()
+        return [self._knn(q, k, ctx) for q in queries]
+
+    def batch_range(self, queries, radius: float) -> list[list[Neighbor]]:
+        ctx = self._batch_ctx()
+        return [self._range(q, radius, ctx) for q in queries]
+
+    def _new_ctx(self) -> QueryContext:
+        return QueryContext(
+            self.index,
+            endpoint_cache=LRUCache(self._context_cache_size),
+            climb_cache=LRUCache(self._context_cache_size),
+            search_cache=LRUCache(self._context_cache_size),
+        )
+
+    def _batch_ctx(self) -> QueryContext | None:
+        if self.ctx is not None:
+            return self.ctx
+        if self._is_tree:
+            return QueryContext(self.index)  # per-batch amortization only
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _distance(self, source, target, ctx) -> float:
+        self._counts["distance"] += 1
+        cache = self._dist_cache
+        if cache is None:
+            return self._raw_distance(source, target, ctx)
+        key = _sym_key(endpoint_key(source), endpoint_key(target))
+        hit = cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit
+        d = self._raw_distance(source, target, ctx)
+        cache[key] = d
+        return d
+
+    def _raw_distance(self, source, target, ctx) -> float:
+        if self._is_tree:
+            return self.index.shortest_distance(source, target, ctx)
+        return self.index.shortest_distance(source, target)
+
+    def _path(self, source, target, ctx) -> PathResult:
+        self._counts["path"] += 1
+        cache = self._path_cache
+        if cache is None:
+            return self._raw_path(source, target, ctx)
+        key = (endpoint_key(source), endpoint_key(target))
+        hit = cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit
+        res = self._raw_path(source, target, ctx)
+        cache[key] = res
+        return res
+
+    def _raw_path(self, source, target, ctx) -> PathResult:
+        index = self.index
+        if self._is_tree:
+            return index.shortest_path(source, target, ctx)
+        if isinstance(index, DijkstraOracle):
+            dist, doors = index.shortest_path_doors(source, target)
+        elif hasattr(index, "shortest_path"):
+            dist, doors = index.shortest_path(source, target)
+        else:
+            raise QueryError(f"{type(index).__name__} does not support path queries")
+        return PathResult(dist, list(doors))
+
+    def _knn(self, query, k: int, ctx) -> list[Neighbor]:
+        self._counts["knn"] += 1
+        cache = self._knn_cache
+        if cache is None:
+            return self._raw_knn(query, k, ctx)
+        key = (endpoint_key(query), k)
+        hit = cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return list(hit)
+        res = self._raw_knn(query, k, ctx)
+        cache[key] = tuple(res)
+        return res
+
+    def _raw_knn(self, query, k: int, ctx) -> list[Neighbor]:
+        index = self.index
+        if self._is_tree:
+            if self.object_index is None:
+                raise QueryError("engine has no object set; pass objects= to QueryEngine")
+            return index.knn(self.object_index, query, k, ctx)
+        if isinstance(index, DijkstraOracle):
+            if self.objects is None:
+                raise QueryError("engine has no object set; pass objects= to QueryEngine")
+            ranked = index.knn(query, self.objects, k)
+        elif self._mx_objects is not None:
+            ranked = self._mx_objects.knn(query, k)
+        elif hasattr(index, "knn"):
+            ranked = index.knn(query, k)
+        else:
+            raise QueryError(f"{type(index).__name__} does not support kNN queries")
+        return [Neighbor(object_id=oid, distance=d) for d, oid in ranked]
+
+    def _range(self, query, radius: float, ctx) -> list[Neighbor]:
+        self._counts["range"] += 1
+        cache = self._range_cache
+        if cache is None:
+            return self._raw_range(query, radius, ctx)
+        key = (endpoint_key(query), radius)
+        hit = cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return list(hit)
+        res = self._raw_range(query, radius, ctx)
+        cache[key] = tuple(res)
+        return res
+
+    def _raw_range(self, query, radius: float, ctx) -> list[Neighbor]:
+        index = self.index
+        if self._is_tree:
+            if self.object_index is None:
+                raise QueryError("engine has no object set; pass objects= to QueryEngine")
+            return index.range_query(self.object_index, query, radius, ctx)
+        if isinstance(index, DijkstraOracle):
+            if self.objects is None:
+                raise QueryError("engine has no object set; pass objects= to QueryEngine")
+            ranked = index.range_query(query, self.objects, radius)
+        elif self._mx_objects is not None:
+            ranked = self._mx_objects.range_query(query, radius)
+        elif hasattr(index, "range_query"):
+            ranked = index.range_query(query, radius)
+        else:
+            raise QueryError(f"{type(index).__name__} does not support range queries")
+        return [Neighbor(object_id=oid, distance=d) for d, oid in ranked]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> EngineStats:
+        """A snapshot of all counters (safe to keep; never mutated)."""
+        s = EngineStats(
+            distance_queries=self._counts["distance"],
+            path_queries=self._counts["path"],
+            knn_queries=self._counts["knn"],
+            range_queries=self._counts["range"],
+        )
+        if self._dist_cache is not None:
+            s.distance_hits = self._dist_cache.hits
+            s.distance_misses = self._dist_cache.misses
+            s.path_hits = self._path_cache.hits
+            s.path_misses = self._path_cache.misses
+            s.knn_hits = self._knn_cache.hits
+            s.knn_misses = self._knn_cache.misses
+            s.range_hits = self._range_cache.hits
+            s.range_misses = self._range_cache.misses
+        if self.ctx is not None:
+            s.endpoint_hits = self.ctx.endpoint_hits
+            s.endpoint_misses = self.ctx.endpoint_misses
+            s.climb_hits = self.ctx.climb_hits
+            s.climb_misses = self.ctx.climb_misses
+            s.search_hits = self.ctx.search_hits
+            s.search_misses = self.ctx.search_misses
+        return s
+
+    def clear_caches(self) -> None:
+        """Drop cached state (counters keep their lifetime totals)."""
+        if self.ctx is not None:
+            fresh = self._new_ctx()
+            fresh.endpoint_hits = self.ctx.endpoint_hits
+            fresh.endpoint_misses = self.ctx.endpoint_misses
+            fresh.climb_hits = self.ctx.climb_hits
+            fresh.climb_misses = self.ctx.climb_misses
+            fresh.search_hits = self.ctx.search_hits
+            fresh.search_misses = self.ctx.search_misses
+            self.ctx = fresh
+        for cache in (self._dist_cache, self._path_cache, self._knn_cache, self._range_cache):
+            if cache is not None:
+                cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.index, "index_name", type(self.index).__name__)
+        return f"QueryEngine({name}, cache={'on' if self.cache_enabled else 'off'})"

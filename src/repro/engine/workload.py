@@ -1,0 +1,123 @@
+"""Mixed-workload replay: measure an engine's throughput (queries/sec).
+
+:func:`replay` drives a :class:`~repro.engine.engine.QueryEngine` with a
+stream of :class:`~repro.datasets.workloads.MixedQuery` items — the
+weighted mixes real deployments issue (e.g. 70% kNN / 20% distance /
+10% range) — and reports wall-clock throughput plus the engine's cache
+counters. Batched replay groups the stream by query kind (and k/radius)
+and uses the engine's batch endpoints; results are scattered back into
+stream order, so batched and sequential replay return element-wise
+identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..datasets.workloads import MixedQuery
+from .engine import EngineStats, QueryEngine
+
+
+@dataclass(slots=True)
+class WorkloadReport:
+    """Outcome of one workload replay."""
+
+    queries: int
+    seconds: float
+    by_kind: dict[str, int] = field(default_factory=dict)
+    batched: bool = True
+    #: engine counter snapshot taken right after the replay (None when
+    #: the engine exposes no stats)
+    stats: EngineStats | None = None
+
+    @property
+    def qps(self) -> float:
+        """Queries per second (inf for a zero-length measurement)."""
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.queries / self.seconds
+
+    def summary(self) -> str:
+        kinds = ", ".join(f"{k}={n}" for k, n in sorted(self.by_kind.items()))
+        return (
+            f"{self.queries} queries in {self.seconds:.3f}s "
+            f"({self.qps:,.0f} q/s; {kinds}; "
+            f"{'batched' if self.batched else 'sequential'})"
+        )
+
+
+def _run_one(engine: QueryEngine, q: MixedQuery):
+    if q.kind == "distance":
+        return engine.distance(q.source, q.target)
+    if q.kind == "path":
+        return engine.path(q.source, q.target)
+    if q.kind == "knn":
+        return engine.knn(q.source, q.k)
+    if q.kind == "range":
+        return engine.range_query(q.source, q.radius)
+    raise ValueError(f"unknown query kind {q.kind!r}")
+
+
+def replay(
+    engine: QueryEngine,
+    queries: list[MixedQuery],
+    *,
+    batched: bool = True,
+) -> tuple[list, WorkloadReport]:
+    """Run a mixed workload and time it.
+
+    Returns ``(results, report)`` with ``results`` in stream order —
+    floats for distance queries, :class:`PathResult` for path queries
+    and ``list[Neighbor]`` for kNN/range queries.
+    """
+    results: list = [None] * len(queries)
+    by_kind: dict[str, int] = {}
+    for q in queries:
+        by_kind[q.kind] = by_kind.get(q.kind, 0) + 1
+
+    start = time.perf_counter()
+    if not batched:
+        for i, q in enumerate(queries):
+            results[i] = _run_one(engine, q)
+    else:
+        # Group by (kind, parameter) so each group maps onto one batch
+        # call; positions scatter the batch output back to stream order.
+        groups: dict[tuple, list[int]] = {}
+        for i, q in enumerate(queries):
+            if q.kind == "knn":
+                gkey = ("knn", q.k)
+            elif q.kind == "range":
+                gkey = ("range", q.radius)
+            elif q.kind in ("distance", "path"):
+                gkey = (q.kind,)
+            else:
+                raise ValueError(f"unknown query kind {q.kind!r}")
+            groups.setdefault(gkey, []).append(i)
+        for gkey, positions in groups.items():
+            kind = gkey[0]
+            if kind == "distance":
+                out = engine.batch_distance(
+                    [(queries[i].source, queries[i].target) for i in positions]
+                )
+            elif kind == "path":
+                out = engine.batch_path(
+                    [(queries[i].source, queries[i].target) for i in positions]
+                )
+            elif kind == "knn":
+                out = engine.batch_knn([queries[i].source for i in positions], gkey[1])
+            else:
+                out = engine.batch_range([queries[i].source for i in positions], gkey[1])
+            for i, res in zip(positions, out):
+                results[i] = res
+    seconds = time.perf_counter() - start
+
+    stats = engine.stats() if hasattr(engine, "stats") else None
+    report = WorkloadReport(
+        queries=len(queries),
+        seconds=seconds,
+        by_kind=by_kind,
+        batched=batched,
+        stats=stats,
+    )
+    return results, report

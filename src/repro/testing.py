@@ -1,0 +1,87 @@
+"""Reusable test helpers: handcrafted fixture venues and point samplers.
+
+Shared by the test suite (``tests/conftest.py``) and importable from
+anywhere on ``sys.path`` — unlike a ``conftest.py``, whose module name
+collides between the ``tests/`` and ``benchmarks/`` suites.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .model.builder import IndoorSpaceBuilder
+from .model.entities import IndoorPoint
+from .model.indoor_space import IndoorSpace
+
+
+def make_fig1_like_space() -> IndoorSpace:
+    """A venue shaped like the paper's Fig 1: four hallway regions in a
+    row, rooms attached, exterior doors at the extremes."""
+    b = IndoorSpaceBuilder(name="fig1")
+    halls = []
+    rooms: list[list[int]] = []
+    for h in range(4):
+        x0 = h * 20.0
+        hall = b.add_hallway(floor=0, label=f"H{h}")
+        halls.append(hall)
+        rr = []
+        for i in range(5):
+            room = b.add_room(floor=0, label=f"H{h}-r{i}")
+            rr.append(room)
+            b.add_door(hall, room, x=x0 + 2.0 + i * 3.0, y=1.0)
+        rooms.append(rr)
+        # one room pair interconnected (creates a 2-door room)
+        b.add_door(rr[0], rr[1], x=x0 + 3.5, y=2.5)
+    for h in range(3):
+        b.add_door(halls[h], halls[h + 1], x=(h + 1) * 20.0 - 1.0, y=0.0)
+    b.add_exterior_door(halls[0], x=0.0, y=0.0, label="west-exit")
+    b.add_exterior_door(halls[3], x=79.0, y=0.0, label="east-exit")
+    space = b.build()
+    space.fixture_rooms = rooms  # handy handles for tests
+    space.fixture_halls = halls
+    return space
+
+
+def make_multifloor_space() -> IndoorSpace:
+    """Three floors with stairs and a lift; rooms on each floor."""
+    b = IndoorSpaceBuilder(name="tower")
+    halls, rooms = [], []
+    for f in range(3):
+        hall = b.add_hallway(floor=f, label=f"F{f}")
+        halls.append(hall)
+        rr = [b.add_room(floor=f, label=f"F{f}-r{i}") for i in range(6)]
+        rooms.append(rr)
+        for i, r in enumerate(rr):
+            b.add_door(hall, r, x=2.0 + i * 3.0, y=1.0, floor=f)
+    b.add_exterior_door(halls[0], x=0.0, y=0.0, floor=0)
+    for f in range(2):
+        b.add_staircase(halls[f], halls[f + 1], x=20.0, y=0.0, floor_lower=f, floor_upper=f + 1)
+    b.add_lift(halls, x=10.0, y=0.0, floors=[0.0, 1.0, 2.0])
+    space = b.build()
+    space.fixture_rooms = rooms
+    space.fixture_halls = halls
+    return space
+
+
+def sample_points(space: IndoorSpace, count: int, seed: int = 5) -> list[IndoorPoint]:
+    """Random points in random room/hallway partitions of a fixture."""
+    rng = random.Random(seed)
+    pids = [
+        p.partition_id
+        for p in space.partitions
+        if p.floor is not None and p.fixed_traversal is None
+    ]
+    points = []
+    for _ in range(count):
+        pid = rng.choice(pids)
+        doors = space.partitions[pid].door_ids
+        xs = [space.doors[d].position.x for d in doors]
+        ys = [space.doors[d].position.y for d in doors]
+        points.append(
+            IndoorPoint(
+                pid,
+                min(xs) + rng.random() * (max(xs) - min(xs) + 1.0),
+                min(ys) + rng.random() * (max(ys) - min(ys) + 1.0),
+            )
+        )
+    return points

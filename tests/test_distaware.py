@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import DijkstraOracle, DistAwPlusPlus, DistAware
 
-from conftest import sample_points
+from repro.testing import sample_points
 
 
 @pytest.fixture(scope="module")

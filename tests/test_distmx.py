@@ -5,7 +5,7 @@ import pytest
 from repro import IndoorPoint, IndoorSpaceBuilder, make_object_set
 from repro.baselines import DijkstraOracle, DistanceMatrix, DistMxObjects
 
-from conftest import sample_points
+from repro.testing import sample_points
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,7 @@ from repro.datasets import random_objects
 from repro.graph.partitioner import bisect, cut_size, partition_k
 from repro.graph.adjacency import Graph
 
-from conftest import sample_points
+from repro.testing import sample_points
 
 
 @pytest.fixture(scope="module")

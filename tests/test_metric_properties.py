@@ -1,0 +1,101 @@
+"""Metric invariants across every fixture venue (seeded random, no new
+dependencies): indoor distance is a metric and paths realize it.
+
+* symmetry         d(s, t) == d(t, s)
+* triangle         d(a, b) <= d(a, c) + d(c, b)
+* path realization path cost == reported distance == oracle distance
+
+Checked for VIP-Tree and IP-Tree against the Dijkstra oracle on all five
+fixture venues (fig1, tower, mall, office, campus).
+"""
+
+import random
+
+import pytest
+
+from repro import IPTree, VIPTree
+from repro.baselines import DijkstraOracle
+from repro.core.query_path import path_length
+from repro.testing import sample_points
+
+VENUES = ["fig1", "tower", "mall", "office", "campus"]
+
+
+@pytest.fixture(scope="module", params=VENUES)
+def metric_setting(request, all_fixture_spaces):
+    space = all_fixture_spaces[request.param]
+    vip = VIPTree.build(space)
+    ip = IPTree.build(space, d2d=vip.d2d)
+    oracle = DijkstraOracle(space, vip.d2d)
+    return space, ip, vip, oracle
+
+
+def _sample_doors(space, count, seed):
+    rng = random.Random(seed)
+    return [rng.randrange(space.num_doors) for _ in range(count)]
+
+
+class TestSymmetry:
+    def test_point_symmetry(self, metric_setting):
+        space, ip, vip, _ = metric_setting
+        pts = sample_points(space, 16, seed=201)
+        for s, t in zip(pts[:8], pts[8:]):
+            for tree in (ip, vip):
+                assert tree.shortest_distance(s, t) == pytest.approx(
+                    tree.shortest_distance(t, s), abs=1e-9
+                )
+
+    def test_door_symmetry(self, metric_setting):
+        space, ip, vip, _ = metric_setting
+        doors = _sample_doors(space, 12, seed=202)
+        for da, db in zip(doors[:6], doors[6:]):
+            for tree in (ip, vip):
+                assert tree.shortest_distance(da, db) == pytest.approx(
+                    tree.shortest_distance(db, da), abs=1e-9
+                )
+
+
+class TestTriangleInequality:
+    def test_sampled_triples(self, metric_setting):
+        space, ip, vip, _ = metric_setting
+        rng = random.Random(203)
+        pts = sample_points(space, 15, seed=204)
+        for _ in range(10):
+            a, b, c = rng.sample(pts, 3)
+            for tree in (ip, vip):
+                ab = tree.shortest_distance(a, b)
+                ac = tree.shortest_distance(a, c)
+                cb = tree.shortest_distance(c, b)
+                assert ab <= ac + cb + 1e-8
+
+    def test_identity_of_indiscernibles(self, metric_setting):
+        space, ip, vip, _ = metric_setting
+        for p in sample_points(space, 4, seed=205):
+            for tree in (ip, vip):
+                assert tree.shortest_distance(p, p) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPathRealizesDistance:
+    def test_path_cost_equals_distance_and_oracle(self, metric_setting):
+        space, ip, vip, oracle = metric_setting
+        pts = sample_points(space, 12, seed=206)
+        for s, t in zip(pts[:6], pts[6:]):
+            expected = oracle.shortest_distance(s, t)
+            for tree in (ip, vip):
+                res = tree.shortest_path(s, t)
+                assert res.distance == pytest.approx(expected, abs=1e-8)
+                assert path_length(tree, res, s, t) == pytest.approx(
+                    res.distance, abs=1e-8
+                )
+                # consecutive path doors are direct D2D edges
+                for x, y in zip(res.doors, res.doors[1:]):
+                    assert tree.d2d.has_edge(x, y)
+
+    def test_trees_agree_with_each_other(self, metric_setting):
+        space, ip, vip, oracle = metric_setting
+        pts = sample_points(space, 10, seed=207)
+        for s, t in zip(pts[:5], pts[5:]):
+            d_ip = ip.shortest_distance(s, t)
+            d_vip = vip.shortest_distance(s, t)
+            assert d_ip == pytest.approx(d_vip, abs=1e-9)
+            assert d_vip == pytest.approx(oracle.shortest_distance(s, t), abs=1e-9)

@@ -5,7 +5,7 @@ import pytest
 from repro import IndoorPoint, IPTree, QueryError, VIPTree
 from repro.baselines import DijkstraOracle
 
-from conftest import sample_points
+from repro.testing import sample_points
 
 
 @pytest.fixture(scope="module", params=["fig1", "tower", "office", "campus"])

@@ -6,7 +6,7 @@ from repro import IndoorPoint, IPTree, ObjectIndex, QueryError, VIPTree, make_ob
 from repro.baselines import DijkstraOracle
 from repro.datasets import random_objects
 
-from conftest import sample_points
+from repro.testing import sample_points
 
 
 @pytest.fixture(scope="module", params=["fig1", "tower", "office"])

@@ -6,7 +6,7 @@ from repro import IndoorPoint, IPTree, VIPTree
 from repro.baselines import DijkstraOracle
 from repro.core.query_path import decompose_edge, path_length
 
-from conftest import sample_points
+from repro.testing import sample_points
 
 
 @pytest.fixture(scope="module", params=["fig1", "tower", "office", "campus"])

@@ -75,7 +75,7 @@ class TestCorruptionDetected:
 
 class TestAblationFlag:
     def test_answers_identical(self, tower_space, tower_oracle):
-        from conftest import sample_points
+        from repro.testing import sample_points
 
         full = IPTree.build(tower_space, use_superior_doors=True)
         ablated = IPTree.build(tower_space, use_superior_doors=False)
@@ -93,7 +93,7 @@ class TestAblationFlag:
         assert total_ablated > total_full
 
     def test_vip_supports_ablation(self, tower_space, tower_oracle):
-        from conftest import sample_points
+        from repro.testing import sample_points
 
         vip = VIPTree.build(tower_space, use_superior_doors=False)
         pts = sample_points(tower_space, 6, seed=92)

@@ -7,7 +7,7 @@ from repro.core.query_distance import Endpoint
 from repro.core.viptree import VIA_BASE, VIA_SELF
 from repro.graph.dijkstra import dijkstra
 
-from conftest import sample_points
+from repro.testing import sample_points
 
 
 @pytest.fixture(scope="module", params=["fig1", "tower", "office"])
