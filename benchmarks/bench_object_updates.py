@@ -1,0 +1,154 @@
+"""Object updates: incremental maintenance vs full index rebuild.
+
+The paper attaches objects to tree leaves so that insertion/deletion/
+movement is cheap (§3.4). This benchmark quantifies that claim for the
+reproduction: a stream of random-walk ``move`` ops (plus insert/delete
+churn) is applied to a VIP-Tree's :class:`ObjectIndex` twice —
+
+* **incremental** — through ``QueryEngine.update`` (bisect into the
+  leaf access lists, bubble subtree-count deltas up the chain),
+* **rebuild** — mutating the object set and reconstructing the whole
+  ``ObjectIndex`` from scratch after every op (the only option before
+  the index became dynamic),
+
+and reports update ops/sec for both, their speedup, and the query
+throughput of a mixed moving-object workload replayed at several
+update:query ratios. After every measured stream the engine's kNN and
+range answers are checked against the Dijkstra oracle.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_object_updates.py --profile tiny
+
+or through pytest (asserts incremental is at least 5x rebuild
+throughput on the mall and campus "tiny" venues and that post-update
+answers match the oracle)::
+
+    python -m pytest benchmarks/bench_object_updates.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro import ObjectIndex, VIPTree
+from repro.baselines import DijkstraOracle
+from repro.bench.reporting import Table
+from repro.datasets import load_venue, mixed_queries, moving_objects, random_objects
+from repro.engine import QueryEngine, replay
+
+#: update:query ratios for the mixed replay column (updates per query)
+RATIOS = (0.25, 1.0, 4.0)
+
+
+def _check_against_oracle(engine: QueryEngine, oracle: DijkstraOracle, space, seed: int = 77) -> None:
+    """Post-update answers must match ground truth exactly."""
+    queries = mixed_queries(space, 12, {"knn": 0.5, "range": 0.5}, seed=seed, pool=6, k=5, radius=45.0)
+    for q in queries:
+        if q.kind == "knn":
+            got = [(round(n.distance, 8), n.object_id) for n in engine.knn(q.source, q.k)]
+            want = [(round(d, 8), oid) for d, oid in oracle.knn(q.source, engine.objects, q.k)]
+        else:
+            got = [(round(n.distance, 8), n.object_id) for n in engine.range_query(q.source, q.radius)]
+            want = [(round(d, 8), oid) for d, oid in oracle.range_query(q.source, engine.objects, q.radius)]
+        assert got == want, f"post-update {q.kind} diverged from oracle: {got} != {want}"
+
+
+def measure_update_throughput(venue: str = "MC", profile: str = "tiny",
+                              n_objects: int = 50, n_updates: int = 200,
+                              churn: float = 0.2, seed: int = 13):
+    """ops/sec for incremental vs rebuild application of one op stream.
+
+    Returns ``(incremental_ops_per_sec, rebuild_ops_per_sec)``.
+    """
+    space = load_venue(venue, profile)
+    tree = VIPTree.build(space)
+    oracle = DijkstraOracle(space, tree.d2d)
+
+    # Two identical object sets: the stream is deterministic given the
+    # initial set, so both executions see the same ops.
+    objects_inc = random_objects(space, n_objects, seed=seed)
+    objects_rb = random_objects(space, n_objects, seed=seed)
+    ops = moving_objects(space, objects_inc, n_updates,
+                         update_ratio=float("inf"), churn=churn, seed=seed)
+
+    engine = QueryEngine(tree, objects_inc)
+    start = time.perf_counter()
+    for op in ops:
+        engine.update(op)
+    inc_seconds = time.perf_counter() - start
+    _check_against_oracle(engine, oracle, space)
+
+    start = time.perf_counter()
+    index = ObjectIndex(tree, objects_rb)
+    for op in ops:
+        objects_rb.apply(op)
+        index = ObjectIndex(tree, objects_rb)
+    rb_seconds = time.perf_counter() - start
+    # both executions must land on the identical index state
+    assert index.node_counts == engine.object_index.node_counts
+    assert index.access_lists == engine.object_index.access_lists
+
+    return len(ops) / max(inc_seconds, 1e-9), len(ops) / max(rb_seconds, 1e-9)
+
+
+def measure_mixed_replay(venue: str, profile: str, update_ratio: float,
+                         count: int = 400, n_objects: int = 50, seed: int = 13) -> float:
+    """Query throughput (q/s) of a mixed moving-object stream."""
+    space = load_venue(venue, profile)
+    tree = VIPTree.build(space)
+    objects = random_objects(space, n_objects, seed=seed)
+    stream = moving_objects(space, objects, count, update_ratio=update_ratio,
+                            churn=0.1, seed=seed, d2d=tree.d2d)
+    engine = QueryEngine(tree, objects)
+    _, report = replay(engine, stream)
+    _check_against_oracle(engine, DijkstraOracle(space, tree.d2d), space)
+    return report.qps
+
+
+def test_incremental_updates_at_least_5x_rebuild():
+    """Acceptance: >= 5x on the mall and campus "tiny" venues, answers
+    matching the Dijkstra oracle after the update stream."""
+    for venue in ("MC", "CL"):
+        inc, rb = measure_update_throughput(venue, "tiny")
+        assert inc >= 5 * rb, (
+            f"{venue}: incremental {inc:,.0f} ops/s < 5x rebuild {rb:,.0f} ops/s"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--venues", nargs="+", default=["MC", "CL"])
+    parser.add_argument("--profile", default="tiny", choices=("tiny", "small", "paper"))
+    parser.add_argument("--objects", type=int, default=50)
+    parser.add_argument("--updates", type=int, default=200, help="ops in the update stream")
+    parser.add_argument("--count", type=int, default=400, help="events per mixed replay")
+    parser.add_argument("--churn", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args(argv)
+
+    table = Table(
+        title=f"Object updates — {args.updates} ops ({args.churn:.0%} churn), "
+        f"{args.objects} objects, profile={args.profile}",
+        headers=["venue", "incremental ops/s", "rebuild ops/s", "speedup"]
+        + [f"q/s @ {r}:1" for r in RATIOS],
+        notes="q/s columns: mixed replay at update:query ratio r, incremental engine",
+    )
+    for venue in args.venues:
+        inc, rb = measure_update_throughput(
+            venue, args.profile, n_objects=args.objects,
+            n_updates=args.updates, churn=args.churn, seed=args.seed,
+        )
+        qps = [
+            measure_mixed_replay(venue, args.profile, r, count=args.count,
+                                 n_objects=args.objects, seed=args.seed)
+            for r in RATIOS
+        ]
+        table.add_row(venue, inc, rb, f"{inc / rb:.1f}x", *qps)
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

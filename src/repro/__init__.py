@@ -60,6 +60,7 @@ from .model import (
     PartitionKind,
     Point,
     Rect,
+    UpdateOp,
     build_ab_graph,
     build_d2d_graph,
     load_space,
@@ -94,6 +95,7 @@ __all__ = [
     "Rect",
     "ReproError",
     "TreeStats",
+    "UpdateOp",
     "VIPTree",
     "VenueError",
     "build_ab_graph",

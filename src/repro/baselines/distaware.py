@@ -87,7 +87,9 @@ class DistAware:
         objects.validate(self.space)
         self._objects = objects
         num_doors = self.space.num_doors
-        g = Graph(num_doors + len(objects))
+        # capacity, not len: ids can be sparse after deletions and the
+        # virtual vertex id space must cover every live id
+        g = Graph(num_doors + objects.capacity)
         for u in range(num_doors):
             for v, w in self.d2d.neighbors(u):
                 if u < v:

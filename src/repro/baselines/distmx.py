@@ -180,12 +180,13 @@ class DistMxObjects:
             out.append(d)
         return out or list(offsets)
 
-    def object_distances(self, query) -> list[float]:
+    def object_distances(self, query) -> dict[int, float]:
+        """dist(q, o) per live object id (ids can be sparse)."""
         space = self.matrix.space
         offsets, qpid = endpoint_offsets(space, query)
         q_doors = self._query_doors(offsets, qpid)
         dist = self.matrix.dist
-        out = []
+        out: dict[int, float] = {}
         for obj, exits in zip(self.objects, self._obj_doors):
             pid = obj.location.partition_id
             best = INF
@@ -202,13 +203,13 @@ class DistMxObjects:
                 and isinstance(query, IndoorPoint)
             ):
                 best = min(best, space.direct_point_distance(query, obj.location))
-            out.append(best)
+            out[obj.object_id] = best
         return out
 
     def knn(self, query, k: int) -> list[tuple[float, int]]:
         dists = self.object_distances(query)
-        return sorted((d, i) for i, d in enumerate(dists))[:k]
+        return sorted((d, oid) for oid, d in dists.items())[:k]
 
     def range_query(self, query, radius: float) -> list[tuple[float, int]]:
         dists = self.object_distances(query)
-        return sorted((d, i) for i, d in enumerate(dists) if d <= radius)
+        return sorted((d, oid) for oid, d in dists.items() if d <= radius)

@@ -62,15 +62,16 @@ class DijkstraOracle:
         return best, doors
 
     # ------------------------------------------------------------------
-    def object_distances(self, query, objects: ObjectSet) -> list[float]:
-        """Exact distance from the query to every object (by object id)."""
+    def object_distances(self, query, objects: ObjectSet) -> dict[int, float]:
+        """Exact distance from the query to every live object, keyed by
+        object id (ids can be sparse after deletions)."""
         space = self.space
         src, qpid = endpoint_offsets(space, query)
         targets: set[int] = set()
         for obj in objects:
             targets.update(space.partitions[obj.location.partition_id].door_ids)
         dist, _ = dijkstra(self.d2d, dict(src), targets=targets)
-        out = []
+        out: dict[int, float] = {}
         for obj in objects:
             pid = obj.location.partition_id
             best = min(
@@ -79,17 +80,17 @@ class DijkstraOracle:
             )
             if qpid is not None and pid == qpid:
                 best = min(best, space.direct_point_distance(query, obj.location))
-            out.append(best)
+            out[obj.object_id] = best
         return out
 
     def knn(self, query, objects: ObjectSet, k: int) -> list[tuple[float, int]]:
         dists = self.object_distances(query, objects)
-        ranked = sorted((d, i) for i, d in enumerate(dists))
+        ranked = sorted((d, oid) for oid, d in dists.items())
         return ranked[:k]
 
     def range_query(self, query, objects: ObjectSet, radius: float) -> list[tuple[float, int]]:
         dists = self.object_distances(query, objects)
-        return sorted((d, i) for i, d in enumerate(dists) if d <= radius)
+        return sorted((d, oid) for oid, d in dists.items() if d <= radius)
 
     def memory_bytes(self) -> int:
         return self.d2d.memory_bytes()

@@ -6,13 +6,27 @@ partition; for each access door of a leaf it keeps the list of leaf
 objects sorted by distance from that door; and every tree node knows how
 many objects live in its subtree (branch-and-bound pruning skips empty
 nodes, Algorithm 5 line 10).
+
+The index is **incrementally maintainable** — the paper attaches objects
+to leaves precisely so that insertion, deletion and movement are cheap
+(§3.4: "the objects can be easily inserted/deleted"). :meth:`insert`,
+:meth:`delete` and :meth:`move` update the leaf lists, the per-door
+sorted access lists (via bisect) and the subtree counts (bubbling the
+±1 delta up the leaf's ancestor chain) in place, in O(ρ · |leaf
+objects| + height) per update instead of an O(|O|) rebuild. All three
+mutate the underlying :class:`ObjectSet` too, so index and set never
+diverge; after any update sequence the index is structurally identical
+to one freshly built from the same set (asserted by the test suite).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import TYPE_CHECKING
 
-from ..model.objects import ObjectSet
+from ..exceptions import QueryError
+from ..model.entities import IndoorPoint
+from ..model.objects import ObjectSet, UpdateOp, apply_update
 
 if TYPE_CHECKING:  # pragma: no cover
     from .tree import IPTree
@@ -21,7 +35,13 @@ INF = float("inf")
 
 
 class ObjectIndex:
-    """Objects embedded into an IP-Tree / VIP-Tree."""
+    """Objects embedded into an IP-Tree / VIP-Tree.
+
+    Mutate through :meth:`insert` / :meth:`delete` / :meth:`move` (or
+    :meth:`apply` with an :class:`~repro.model.objects.UpdateOp`); the
+    :attr:`version` property mirrors the object set's version counter so
+    engines can invalidate object-dependent caches.
+    """
 
     def __init__(self, tree: "IPTree", objects: ObjectSet) -> None:
         objects.validate(tree.space)
@@ -31,44 +51,119 @@ class ObjectIndex:
         self.leaf_objects: dict[int, list[int]] = {}
         #: leaf node id -> {access door -> [(distance, object id)] sorted}
         self.access_lists: dict[int, dict[int, list[tuple[float, int]]]] = {}
-        #: node id -> number of objects in the subtree
+        #: node id -> number of objects in the subtree (absent == 0)
         self.node_counts: dict[int, int] = {}
-        self._build()
+        #: object id -> (leaf id, {access door -> exact distance}); lets
+        #: deletion locate its access-list entries with a bisect instead
+        #: of a scan
+        self._entries: dict[int, tuple[int, dict[int, float]]] = {}
+        #: update operations applied since construction (monotone)
+        self.updates = 0
+        for obj in objects:
+            self._register(obj)
 
-    def _build(self) -> None:
+    @property
+    def version(self) -> int:
+        """The underlying object set's version counter."""
+        return self.objects.version
+
+    # ------------------------------------------------------------------
+    # Construction / incremental maintenance
+    # ------------------------------------------------------------------
+    def _door_distances(self, obj, leaf_id: int) -> dict[int, float]:
+        """Exact dist(a, o) for every access door ``a`` of the leaf: leave
+        the object's partition through any of its doors (matrix distances
+        are globally exact)."""
         tree = self.tree
         space = tree.space
-        for obj in self.objects:
-            pid = obj.location.partition_id
-            leaf_id = tree.leaf_node_of_partition[pid]
-            self.leaf_objects.setdefault(leaf_id, []).append(obj.object_id)
+        node = tree.nodes[leaf_id]
+        table = node.table
+        part_doors = space.partitions[obj.location.partition_id].door_ids
+        offsets = [
+            (dv, space.point_to_door_distance(obj.location, dv)) for dv in part_doors
+        ]
+        out: dict[int, float] = {}
+        for a in node.access_doors:
+            best = INF
+            for dv, off in offsets:
+                d = table.distance(dv, a) + off
+                if d < best:
+                    best = d
+            out[a] = best
+        return out
+
+    def _register(self, obj, *, bubble_counts: bool = True) -> None:
+        tree = self.tree
+        leaf_id = tree.leaf_node_of_partition[obj.location.partition_id]
+        dists = self._door_distances(obj, leaf_id)
+        self.leaf_objects.setdefault(leaf_id, []).append(obj.object_id)
+        per_door = self.access_lists.get(leaf_id)
+        if per_door is None:
+            per_door = {a: [] for a in tree.nodes[leaf_id].access_doors}
+            self.access_lists[leaf_id] = per_door
+        for a, d in dists.items():
+            insort(per_door[a], (d, obj.object_id))
+        self._entries[obj.object_id] = (leaf_id, dists)
+        if bubble_counts:
             for nid in tree.chain_of_leaf(leaf_id):
                 self.node_counts[nid] = self.node_counts.get(nid, 0) + 1
 
-        for leaf_id, oids in self.leaf_objects.items():
-            node = tree.nodes[leaf_id]
-            table = node.table
-            per_door: dict[int, list[tuple[float, int]]] = {
-                a: [] for a in node.access_doors
-            }
-            for oid in oids:
-                obj = self.objects[oid]
-                pid = obj.location.partition_id
-                part_doors = space.partitions[pid].door_ids
-                for a in node.access_doors:
-                    # exact dist(a, o): leave the object's partition through
-                    # any of its doors (matrix distances are globally exact)
-                    best = INF
-                    for dv in part_doors:
-                        d = table.distance(dv, a) + space.point_to_door_distance(
-                            obj.location, dv
-                        )
-                        if d < best:
-                            best = d
-                    per_door[a].append((best, oid))
-            for a in per_door:
-                per_door[a].sort()
-            self.access_lists[leaf_id] = per_door
+    def _unregister(self, object_id: int, *, bubble_counts: bool = True) -> int:
+        leaf_id, dists = self._entries.pop(object_id)
+        self.leaf_objects[leaf_id].remove(object_id)
+        per_door = self.access_lists[leaf_id]
+        for a, d in dists.items():
+            lst = per_door[a]
+            i = bisect_left(lst, (d, object_id))
+            assert i < len(lst) and lst[i] == (d, object_id)
+            lst.pop(i)
+        if not self.leaf_objects[leaf_id]:
+            del self.leaf_objects[leaf_id]
+            del self.access_lists[leaf_id]
+        if bubble_counts:
+            for nid in self.tree.chain_of_leaf(leaf_id):
+                remaining = self.node_counts[nid] - 1
+                if remaining:
+                    self.node_counts[nid] = remaining
+                else:
+                    del self.node_counts[nid]
+        return leaf_id
+
+    def insert(self, location: IndoorPoint, label: str = "", category: str = "") -> int:
+        """Add a new object to the set and the index; returns its id."""
+        self.tree.space.validate_point(location)
+        oid = self.objects.insert(location, label, category)
+        self._register(self.objects[oid])
+        self.updates += 1
+        return oid
+
+    def delete(self, object_id: int) -> None:
+        """Remove an object from the set and the index."""
+        if object_id not in self._entries:
+            raise QueryError(f"object {object_id} is not in the index")
+        self._unregister(object_id)
+        self.objects.delete(object_id)
+        self.updates += 1
+
+    def move(self, object_id: int, location: IndoorPoint) -> None:
+        """Relocate an object, re-embedding it in its (possibly new) leaf.
+
+        Subtree counts are only touched when the object changes leaf —
+        a same-leaf move just replaces its access-list entries.
+        """
+        if object_id not in self._entries:
+            raise QueryError(f"object {object_id} is not in the index")
+        self.tree.space.validate_point(location)
+        new_leaf = self.tree.leaf_node_of_partition[location.partition_id]
+        same_leaf = self._entries[object_id][0] == new_leaf
+        self._unregister(object_id, bubble_counts=not same_leaf)
+        self.objects.move(object_id, location)
+        self._register(self.objects[object_id], bubble_counts=not same_leaf)
+        self.updates += 1
+
+    def apply(self, op: UpdateOp):
+        """Apply one :class:`UpdateOp` (see :func:`apply_update`)."""
+        return apply_update(self, op)
 
     # ------------------------------------------------------------------
     def count(self, node_id: int) -> int:
@@ -78,11 +173,18 @@ class ObjectIndex:
     def objects_in_leaf(self, leaf_id: int) -> list[int]:
         return self.leaf_objects.get(leaf_id, [])
 
+    def leaf_of_object(self, object_id: int) -> int:
+        """The leaf node currently containing an object."""
+        if object_id not in self._entries:
+            raise QueryError(f"object {object_id} is not in the index")
+        return self._entries[object_id][0]
+
     def memory_bytes(self) -> int:
         total = 16 * sum(len(v) for v in self.leaf_objects.values())
         for per_door in self.access_lists.values():
             total += 24 * sum(len(lst) for lst in per_door.values())
         total += 16 * len(self.node_counts)
+        total += 24 * sum(len(d) for _, d in self._entries.values())
         return total
 
     def __len__(self) -> int:

@@ -49,6 +49,14 @@ def decompose_edge(tree: "IPTree", a: int, b: int) -> list[int]:
             result.append(y)
             continue
         node, flipped = tree.lowest_covering_node(x, y)
+        if node is None:
+            # Group-table next-hops are compressed on the *global* level
+            # graph, so a hop can land in another subtree and leave a
+            # pair no matrix covers. The pair is still a shortest
+            # subpath, so a direct D2D expansion is exact.
+            dist, parent = dijkstra(tree.d2d, x, targets={y})
+            result.extend(path_from_parents(parent, x, y)[1:])
+            continue
         hop = node.table.next_hop(y, x) if flipped else node.table.next_hop(x, y)
         if hop == NO_DOOR or hop == x or hop == y:
             result.append(y)

@@ -307,14 +307,18 @@ class IPTree:
                 return nid, chain_a[i - 1], chain_b[j - 1]
         raise AssertionError("tree has a single root; chains must intersect")
 
-    def lowest_covering_node(self, door_a: int, door_b: int) -> tuple[TreeNode, bool]:
+    def lowest_covering_node(self, door_a: int, door_b: int) -> tuple[TreeNode | None, bool]:
         """The lowest node whose matrix covers a door pair.
 
         Returns ``(node, flipped)``: when ``flipped`` the matrix covers
         ``(door_b -> door_a)`` instead (leaf matrices only store
         door -> access-door entries; reversing the decomposition of the
         flipped pair recovers the original direction on our undirected
-        graphs).
+        graphs). Returns ``(None, False)`` when no matrix covers the
+        pair — possible for partial edges whose next-hop was compressed
+        through another subtree (group tables are computed on the global
+        level graph), in which case the caller expands the pair on the
+        D2D graph directly.
 
         This realizes Algorithm 4's node choice: a shared leaf for pairs
         with at most one access door (Lemmas 4/7) and the lowest common
@@ -343,10 +347,7 @@ class IPTree:
         for node in candidates:
             if node.table is not None and node.table.covers(door_a, door_b):
                 return node, False
-        raise AssertionError(
-            f"no covering node for door pair ({door_a}, {door_b}); "
-            "this indicates a malformed decomposition edge"
-        )
+        return None, False
 
     # ------------------------------------------------------------------
     # Stats & memory

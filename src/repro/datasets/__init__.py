@@ -2,6 +2,7 @@
 
 from .campus import build_campus
 from .mall import build_mall
+from .moving import moving_objects
 from .office import build_office
 from .profiles import (
     CAMPUS_PROFILES,
@@ -43,6 +44,7 @@ __all__ = [
     "distance_bucketed_pairs",
     "load_venue",
     "mixed_queries",
+    "moving_objects",
     "random_objects",
     "random_pairs",
     "random_point",

@@ -1,12 +1,15 @@
 """Batch query engine: uniform index front end with caching + workloads.
 
 * :class:`QueryEngine` — wraps any built index (IP-Tree, VIP-Tree or a
-  baseline) behind one distance/path/kNN/range API with batch endpoints
-  and LRU result caches,
+  baseline) behind one distance/path/kNN/range API with batch
+  endpoints, LRU result caches, and dynamic object updates
+  (``update``/``batch_update``) with targeted kNN/range cache
+  invalidation,
 * :class:`LRUCache` — the bounded cache primitive,
-* :func:`replay` / :class:`WorkloadReport` — mixed-workload throughput
-  driver (generate the streams with
-  :func:`repro.datasets.workloads.mixed_queries`).
+* :func:`replay` / :class:`WorkloadReport` — workload throughput driver
+  for static query mixes
+  (:func:`repro.datasets.workloads.mixed_queries`) and moving-object
+  streams (:func:`repro.datasets.moving.moving_objects`).
 """
 
 from .cache import LRUCache

@@ -16,8 +16,25 @@ from typing import Any, Hashable
 class LRUCache:
     """Bounded mapping evicting the least-recently-used entry.
 
-    ``get`` counts a hit (and refreshes recency) or a miss; ``peek``
-    does neither. ``maxsize <= 0`` means unbounded.
+    ``maxsize <= 0`` means unbounded. Three counters are exposed, all
+    **monotone lifetime totals** — nothing ever resets them, including
+    :meth:`clear` (and therefore including the query engine's
+    update-driven cache invalidation, which is implemented as a
+    ``clear``):
+
+    * ``hits`` — ``get`` calls that found their key (each also
+      refreshes the key's recency);
+    * ``misses`` — ``get`` calls that did not (``peek`` touches
+      neither counter nor recency);
+    * ``evictions`` — entries dropped by the LRU bound in
+      ``__setitem__``. Entries dropped by :meth:`clear` are *not*
+      counted as evictions — eviction measures capacity pressure,
+      not invalidation.
+
+    Consequently ``hits + misses`` equals the lifetime number of
+    ``get`` calls, and hit-rate computations remain meaningful across
+    ``clear``/invalidation boundaries (a flushed entry simply costs one
+    extra miss when next requested).
     """
 
     __slots__ = ("maxsize", "hits", "misses", "evictions", "_data")

@@ -8,8 +8,13 @@ The engine wraps one built index — :class:`~repro.core.tree.IPTree`,
 * ``batch_distance`` / ``batch_path`` / ``batch_knn`` / ``batch_range``
   — request lists that amortize per-query setup (endpoint resolution,
   leaf lookup, tree climbs) across the batch,
-* ``stats()`` — a monotone snapshot of query counts and cache hit/miss
-  counters.
+* ``update`` / ``batch_update`` (plus ``insert_object`` /
+  ``delete_object`` / ``move_object``) — dynamic object updates that
+  maintain the object index incrementally and invalidate **only** the
+  object-dependent result caches (kNN/range); distance/path caches and
+  the query context survive, because they never depend on objects,
+* ``stats()`` — a monotone snapshot of query counts, update counts and
+  cache hit/miss counters.
 
 Two cache layers (both optional via ``cache=False``):
 
@@ -36,6 +41,8 @@ from ..core.objects_index import ObjectIndex
 from ..core.results import Neighbor, PathResult
 from ..core.tree import IPTree
 from ..exceptions import QueryError
+from ..model.entities import IndoorPoint
+from ..model.objects import UpdateOp
 from .cache import LRUCache
 
 _MISSING = object()
@@ -43,14 +50,48 @@ _MISSING = object()
 
 @dataclass(slots=True)
 class EngineStats:
-    """Monotone engine counters: per-kind query totals plus hit/miss
-    pairs for every cache layer. ``snapshot`` copies are safe to keep
-    around and compare across batches."""
+    """Monotone engine counters — a snapshot returned by
+    :meth:`QueryEngine.stats`.
+
+    Every field is a lifetime total that only ever grows over the
+    engine's life: queries, updates and hit/miss counters are never
+    reset — not by :meth:`QueryEngine.clear_caches` and not by update
+    invalidation, both of which drop cached *entries* but preserve the
+    counters. Snapshot copies are therefore safe to keep around and
+    subtract across batches.
+
+    Field-by-field:
+
+    * ``distance_queries`` / ``path_queries`` / ``knn_queries`` /
+      ``range_queries`` — queries served per kind, counted whether they
+      hit or miss a cache (and also when caching is disabled).
+    * ``updates`` — object-update operations applied through
+      ``update``/``batch_update``/``insert_object``/``delete_object``/
+      ``move_object``. Zero for engines that never mutate objects.
+    * ``invalidations`` — object-cache invalidation *events* (each event
+      flushes every kNN and range cache entry at once). One per single
+      ``update``, one per ``batch_update`` call (that is the batch
+      amortization), and one per stale-version detection when the
+      object set was mutated behind the engine's back. Stays zero when
+      ``cache=False`` (there is nothing to flush).
+    * ``distance_hits``/``distance_misses`` … ``range_hits``/
+      ``range_misses`` — hit/miss pairs of the four engine-level LRU
+      result caches. Invalidation does **not** reset them; a query after
+      an invalidation simply records a miss when it recomputes.
+    * ``endpoint_*`` / ``climb_*`` / ``search_*`` — hit/miss pairs of
+      the :class:`~repro.core.context.QueryContext` layers (tree
+      indexes only; all zero for baselines and for ``cache=False``).
+      These caches are object-independent, so update invalidation
+      leaves both their entries and their counters untouched.
+    """
 
     distance_queries: int = 0
     path_queries: int = 0
     knn_queries: int = 0
     range_queries: int = 0
+    #: dynamic object updates
+    updates: int = 0
+    invalidations: int = 0
     #: engine-level LRU result caches
     distance_hits: int = 0
     distance_misses: int = 0
@@ -112,6 +153,12 @@ def _sym_key(ka: tuple, kb: tuple) -> tuple:
 class QueryEngine:
     """Serve streams of spatial queries against one built index.
 
+    The engine also serves **dynamic object updates**: see
+    :meth:`update` / :meth:`batch_update` and the ``insert_object`` /
+    ``delete_object`` / ``move_object`` conveniences. Updates mutate the
+    wrapped object store (incrementally for tree indexes) and invalidate
+    the kNN/range result caches only.
+
     Args:
         index: a built :class:`IPTree`/:class:`VIPTree` or any baseline
             exposing ``shortest_distance`` (and optionally
@@ -158,6 +205,8 @@ class QueryEngine:
             self._knn_cache = None
             self._range_cache = None
         self._counts = {"distance": 0, "path": 0, "knn": 0, "range": 0}
+        self._updates = 0
+        self._invalidations = 0
 
         # Wire the object set into whatever the index understands.
         self.object_index: ObjectIndex | None = None
@@ -178,6 +227,8 @@ class QueryEngine:
                 self._mx_objects = DistMxObjects(index, self.objects)
             elif hasattr(index, "attach_objects"):
                 index.attach_objects(self.objects)
+        #: object-set version the kNN/range caches were last valid for
+        self._objects_version = self.objects.version if self.objects is not None else 0
 
     # ------------------------------------------------------------------
     # Single-query API
@@ -219,6 +270,81 @@ class QueryEngine:
     def batch_range(self, queries, radius: float) -> list[list[Neighbor]]:
         ctx = self._batch_ctx()
         return [self._range(q, radius, ctx) for q in queries]
+
+    # ------------------------------------------------------------------
+    # Dynamic object updates — maintain the object store incrementally
+    # and invalidate only the object-dependent caches (kNN/range). The
+    # distance/path caches and the query context never depend on the
+    # object set and survive every update.
+    # ------------------------------------------------------------------
+    def insert_object(self, location: IndoorPoint, label: str = "", category: str = "") -> int:
+        """Add an object at ``location``; returns its new id."""
+        return self.update(UpdateOp("insert", location=location, label=label, category=category))
+
+    def delete_object(self, object_id: int) -> None:
+        """Remove an object (its id is tombstoned, never reused)."""
+        self.update(UpdateOp("delete", object_id=object_id))
+
+    def move_object(self, object_id: int, location: IndoorPoint) -> None:
+        """Relocate an object to ``location``."""
+        self.update(UpdateOp("move", object_id=object_id, location=location))
+
+    def update(self, op: UpdateOp):
+        """Apply one :class:`~repro.model.objects.UpdateOp`.
+
+        Tree engines update their :class:`ObjectIndex` in place (leaf
+        lists, sorted access lists and subtree counts, paper §3.4);
+        baseline engines mutate the object set and re-attach it. Either
+        way the kNN/range result caches are invalidated once.
+        """
+        result = self._apply_update(op)
+        self._updates += 1
+        self._invalidate_object_caches()
+        return result
+
+    def batch_update(self, ops) -> list:
+        """Apply a list of update ops with a single invalidation event.
+
+        Results are element-wise identical to calling :meth:`update` per
+        op; batching only amortizes the cache flush and (for baselines)
+        the re-attachment of the object set.
+        """
+        results = [self._apply_update(op) for op in ops]
+        self._updates += len(results)
+        if results:
+            self._invalidate_object_caches()
+        return results
+
+    def _apply_update(self, op: UpdateOp):
+        if self.objects is None:
+            raise QueryError("engine has no object set; pass objects= to QueryEngine")
+        if self.object_index is not None:
+            return self.object_index.apply(op)
+        return self.objects.apply(op)
+
+    def _invalidate_object_caches(self) -> None:
+        """Flush kNN/range caches and re-wire baseline object structures.
+
+        Counters are untouched — they are lifetime totals; only the
+        cached entries (and the engine's notion of the current object
+        version) change.
+        """
+        self._objects_version = self.objects.version if self.objects is not None else 0
+        if self._mx_objects is not None:
+            self._mx_objects = DistMxObjects(self.index, self.objects)
+        elif not self._is_tree and hasattr(self.index, "attach_objects"):
+            self.index.attach_objects(self.objects)
+        if self._knn_cache is not None:
+            self._knn_cache.clear()
+            self._range_cache.clear()
+            self._invalidations += 1
+
+    def _check_object_version(self) -> None:
+        """Lazily catch object mutations made behind the engine's back
+        (directly on the ObjectSet/ObjectIndex) before serving a
+        cached object-dependent result."""
+        if self.objects is not None and self.objects.version != self._objects_version:
+            self._invalidate_object_caches()
 
     def _new_ctx(self) -> QueryContext:
         return QueryContext(
@@ -283,6 +409,7 @@ class QueryEngine:
 
     def _knn(self, query, k: int, ctx) -> list[Neighbor]:
         self._counts["knn"] += 1
+        self._check_object_version()
         cache = self._knn_cache
         if cache is None:
             return self._raw_knn(query, k, ctx)
@@ -314,6 +441,7 @@ class QueryEngine:
 
     def _range(self, query, radius: float, ctx) -> list[Neighbor]:
         self._counts["range"] += 1
+        self._check_object_version()
         cache = self._range_cache
         if cache is None:
             return self._raw_range(query, radius, ctx)
@@ -345,12 +473,22 @@ class QueryEngine:
 
     # ------------------------------------------------------------------
     def stats(self) -> EngineStats:
-        """A snapshot of all counters (safe to keep; never mutated)."""
+        """A snapshot of all engine counters.
+
+        Returns a fresh :class:`EngineStats` (see its docstring for the
+        per-field meaning and monotonicity guarantees). The snapshot is
+        never mutated afterwards — safe to keep and compare against a
+        later one. Every field is a lifetime total: neither
+        :meth:`clear_caches` nor update invalidation resets any counter;
+        they only drop cached entries.
+        """
         s = EngineStats(
             distance_queries=self._counts["distance"],
             path_queries=self._counts["path"],
             knn_queries=self._counts["knn"],
             range_queries=self._counts["range"],
+            updates=self._updates,
+            invalidations=self._invalidations,
         )
         if self._dist_cache is not None:
             s.distance_hits = self._dist_cache.hits

@@ -1,13 +1,21 @@
-"""Mixed-workload replay: measure an engine's throughput (queries/sec).
+"""Mixed-workload replay: measure an engine's throughput (events/sec).
 
 :func:`replay` drives a :class:`~repro.engine.engine.QueryEngine` with a
 stream of :class:`~repro.datasets.workloads.MixedQuery` items — the
 weighted mixes real deployments issue (e.g. 70% kNN / 20% distance /
 10% range) — and reports wall-clock throughput plus the engine's cache
-counters. Batched replay groups the stream by query kind (and k/radius)
-and uses the engine's batch endpoints; results are scattered back into
-stream order, so batched and sequential replay return element-wise
-identical results.
+counters. Streams may also interleave
+:class:`~repro.model.objects.UpdateOp` events (moving-object workloads,
+see :func:`repro.datasets.moving.moving_objects`); updates are applied
+through the engine's update endpoints **in stream order**, so queries
+always see exactly the object population a sequential execution would.
+
+Batched replay groups the stream by query kind (and k/radius) and uses
+the engine's batch endpoints; updates act as barriers — only queries
+between two updates are batched together (and consecutive updates
+become one ``batch_update``). Results are scattered back into stream
+order, so batched and sequential replay return element-wise identical
+results even for dynamic streams.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..datasets.workloads import MixedQuery
+from ..model.objects import UpdateOp
 from .engine import EngineStats, QueryEngine
 
 
@@ -27,27 +36,51 @@ class WorkloadReport:
     seconds: float
     by_kind: dict[str, int] = field(default_factory=dict)
     batched: bool = True
+    #: update events applied during the replay (0 for static workloads)
+    updates: int = 0
     #: engine counter snapshot taken right after the replay (None when
     #: the engine exposes no stats)
     stats: EngineStats | None = None
 
     @property
+    def events(self) -> int:
+        """Total stream length: queries plus updates."""
+        return self.queries + self.updates
+
+    @property
     def qps(self) -> float:
-        """Queries per second (inf for a zero-length measurement)."""
+        """Query events per second (inf for a zero-length measurement).
+
+        The denominator is the whole replay wall-clock, so for dynamic
+        streams this is query throughput *while also absorbing the
+        stream's updates*; use :attr:`eps` for combined event rate.
+        """
         if self.seconds <= 0.0:
             return float("inf")
         return self.queries / self.seconds
 
+    @property
+    def eps(self) -> float:
+        """Events (queries + updates) per second."""
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.events / self.seconds
+
     def summary(self) -> str:
         kinds = ", ".join(f"{k}={n}" for k, n in sorted(self.by_kind.items()))
+        head = f"{self.queries} queries"
+        if self.updates:
+            head += f" + {self.updates} updates"
         return (
-            f"{self.queries} queries in {self.seconds:.3f}s "
+            f"{head} in {self.seconds:.3f}s "
             f"({self.qps:,.0f} q/s; {kinds}; "
             f"{'batched' if self.batched else 'sequential'})"
         )
 
 
-def _run_one(engine: QueryEngine, q: MixedQuery):
+def _run_one(engine: QueryEngine, q):
+    if isinstance(q, UpdateOp):
+        return engine.update(q)
     if q.kind == "distance":
         return engine.distance(q.source, q.target)
     if q.kind == "path":
@@ -59,65 +92,107 @@ def _run_one(engine: QueryEngine, q: MixedQuery):
     raise ValueError(f"unknown query kind {q.kind!r}")
 
 
+def _replay_query_block(engine: QueryEngine, queries, block, results) -> None:
+    """Batch one contiguous update-free block of the stream.
+
+    Groups the block's positions by (kind, parameter) so each group maps
+    onto one batch call; positions scatter the batch output back to
+    stream order.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for i in block:
+        q = queries[i]
+        if q.kind == "knn":
+            gkey = ("knn", q.k)
+        elif q.kind == "range":
+            gkey = ("range", q.radius)
+        elif q.kind in ("distance", "path"):
+            gkey = (q.kind,)
+        else:
+            raise ValueError(f"unknown query kind {q.kind!r}")
+        groups.setdefault(gkey, []).append(i)
+    for gkey, positions in groups.items():
+        kind = gkey[0]
+        if kind == "distance":
+            out = engine.batch_distance(
+                [(queries[i].source, queries[i].target) for i in positions]
+            )
+        elif kind == "path":
+            out = engine.batch_path(
+                [(queries[i].source, queries[i].target) for i in positions]
+            )
+        elif kind == "knn":
+            out = engine.batch_knn([queries[i].source for i in positions], gkey[1])
+        else:
+            out = engine.batch_range([queries[i].source for i in positions], gkey[1])
+        for i, res in zip(positions, out):
+            results[i] = res
+
+
 def replay(
     engine: QueryEngine,
-    queries: list[MixedQuery],
+    queries: list,
     *,
     batched: bool = True,
 ) -> tuple[list, WorkloadReport]:
-    """Run a mixed workload and time it.
+    """Run a (possibly dynamic) workload and time it.
 
     Returns ``(results, report)`` with ``results`` in stream order —
-    floats for distance queries, :class:`PathResult` for path queries
-    and ``list[Neighbor]`` for kNN/range queries.
+    floats for distance queries, :class:`PathResult` for path queries,
+    ``list[Neighbor]`` for kNN/range queries, and the engine's update
+    return value (e.g. the new id for inserts) for update events.
     """
     results: list = [None] * len(queries)
     by_kind: dict[str, int] = {}
+    n_updates = 0
     for q in queries:
-        by_kind[q.kind] = by_kind.get(q.kind, 0) + 1
+        kind = q.kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if isinstance(q, UpdateOp):
+            n_updates += 1
+        elif kind not in ("distance", "path", "knn", "range"):
+            raise ValueError(f"unknown query kind {kind!r}")
 
     start = time.perf_counter()
     if not batched:
         for i, q in enumerate(queries):
             results[i] = _run_one(engine, q)
     else:
-        # Group by (kind, parameter) so each group maps onto one batch
-        # call; positions scatter the batch output back to stream order.
-        groups: dict[tuple, list[int]] = {}
+        # Updates are barriers: batch each update-free block, apply each
+        # run of consecutive updates as one batch_update.
+        block: list[int] = []
+        update_run: list[int] = []
+
+        def flush_queries():
+            if block:
+                _replay_query_block(engine, queries, block, results)
+                block.clear()
+
+        def flush_updates():
+            if update_run:
+                out = engine.batch_update([queries[i] for i in update_run])
+                for i, res in zip(update_run, out):
+                    results[i] = res
+                update_run.clear()
+
         for i, q in enumerate(queries):
-            if q.kind == "knn":
-                gkey = ("knn", q.k)
-            elif q.kind == "range":
-                gkey = ("range", q.radius)
-            elif q.kind in ("distance", "path"):
-                gkey = (q.kind,)
+            if isinstance(q, UpdateOp):
+                flush_queries()
+                update_run.append(i)
             else:
-                raise ValueError(f"unknown query kind {q.kind!r}")
-            groups.setdefault(gkey, []).append(i)
-        for gkey, positions in groups.items():
-            kind = gkey[0]
-            if kind == "distance":
-                out = engine.batch_distance(
-                    [(queries[i].source, queries[i].target) for i in positions]
-                )
-            elif kind == "path":
-                out = engine.batch_path(
-                    [(queries[i].source, queries[i].target) for i in positions]
-                )
-            elif kind == "knn":
-                out = engine.batch_knn([queries[i].source for i in positions], gkey[1])
-            else:
-                out = engine.batch_range([queries[i].source for i in positions], gkey[1])
-            for i, res in zip(positions, out):
-                results[i] = res
+                flush_updates()
+                block.append(i)
+        flush_queries()
+        flush_updates()
     seconds = time.perf_counter() - start
 
     stats = engine.stats() if hasattr(engine, "stats") else None
     report = WorkloadReport(
-        queries=len(queries),
+        queries=len(queries) - n_updates,
         seconds=seconds,
         by_kind=by_kind,
         batched=batched,
+        updates=n_updates,
         stats=stats,
     )
     return results, report

@@ -21,7 +21,7 @@ from .io_json import (
     space_from_dict,
     space_to_dict,
 )
-from .objects import IndoorObject, ObjectSet, make_object_set
+from .objects import IndoorObject, ObjectSet, UpdateOp, make_object_set
 
 __all__ = [
     "ABGraph",
@@ -38,6 +38,7 @@ __all__ = [
     "PartitionKind",
     "Point",
     "Rect",
+    "UpdateOp",
     "VenueStats",
     "average_out_degree",
     "build_ab_graph",

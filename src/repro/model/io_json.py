@@ -100,6 +100,9 @@ def load_space(path: str | Path) -> IndoorSpace:
 def objects_to_dict(objects: ObjectSet) -> dict:
     return {
         "version": FORMAT_VERSION,
+        # id-space size including trailing tombstones, so a round-trip
+        # never re-assigns a deleted id
+        "capacity": objects.capacity,
         "objects": [
             {
                 "id": o.object_id,
@@ -117,14 +120,19 @@ def objects_to_dict(objects: ObjectSet) -> dict:
 def objects_from_dict(data: dict) -> ObjectSet:
     if data.get("version") != FORMAT_VERSION:
         raise VenueError(f"unsupported object format version: {data.get('version')!r}")
-    return ObjectSet(
-        [
-            IndoorObject(
-                object_id=o["id"],
-                location=IndoorPoint(o["partition"], o["x"], o["y"]),
-                label=o.get("label", ""),
-                category=o.get("category", ""),
-            )
-            for o in data["objects"]
-        ]
+    # Ids are slot positions; sets serialized after deletions have sparse
+    # ids, so rebuild with tombstones to keep every id stable. The stored
+    # capacity also preserves *trailing* tombstones — without it a
+    # reloaded set would re-assign the highest deleted ids.
+    capacity = data.get(
+        "capacity", max((o["id"] for o in data["objects"]), default=-1) + 1
     )
+    slots: list[IndoorObject | None] = [None] * capacity
+    for o in data["objects"]:
+        slots[o["id"]] = IndoorObject(
+            object_id=o["id"],
+            location=IndoorPoint(o["partition"], o["x"], o["y"]),
+            label=o.get("label", ""),
+            category=o.get("category", ""),
+        )
+    return ObjectSet(slots)

@@ -4,6 +4,15 @@ The paper's §3.4 queries operate over a set of objects O embedded in the
 venue (washrooms in the experiments; ATMs, charging kiosks etc. in the
 motivation). Objects are plain indoor points with labels, grouped into an
 :class:`ObjectSet`.
+
+Object sets are **dynamic**: :meth:`ObjectSet.insert`,
+:meth:`ObjectSet.delete` and :meth:`ObjectSet.move` mutate the set in
+place — the paper's motivation for attaching objects to tree leaves is
+precisely that such updates are cheap (§3.4). Object ids are stable for
+the lifetime of the set: deletion leaves a tombstone instead of
+re-indexing, so ids held by callers (query results, indexes, update
+streams) never shift. Every mutation bumps :attr:`ObjectSet.version`,
+which caches use to detect staleness.
 """
 
 from __future__ import annotations
@@ -13,6 +22,10 @@ from dataclasses import dataclass, field
 from ..exceptions import QueryError
 from .entities import IndoorPoint
 from .indoor_space import IndoorSpace
+
+#: Update-operation kinds understood by :meth:`ObjectSet.apply` (and by
+#: ``ObjectIndex.apply`` / ``QueryEngine.update`` downstream).
+UPDATE_KINDS = ("insert", "delete", "move")
 
 
 @dataclass(frozen=True, slots=True)
@@ -25,32 +38,134 @@ class IndoorObject:
     category: str = ""
 
 
+@dataclass(frozen=True, slots=True)
+class UpdateOp:
+    """One object-set mutation, replayable against any object store.
+
+    ``kind`` selects which fields matter: ``insert`` uses ``location``
+    (plus optional ``label``/``category``; the new id is assigned by the
+    receiving set), ``delete`` uses ``object_id``, and ``move`` uses
+    ``object_id`` + ``location``.
+    """
+
+    kind: str
+    object_id: int | None = None
+    location: IndoorPoint | None = None
+    label: str = ""
+    category: str = ""
+
+
+def apply_update(target, op: UpdateOp):
+    """Validate an :class:`UpdateOp` and dispatch it to ``target``.
+
+    ``target`` is any object store exposing ``insert(location, label,
+    category)``, ``delete(object_id)`` and ``move(object_id,
+    location)`` — :class:`ObjectSet` and ``ObjectIndex`` both route
+    their ``apply`` through this helper so every store accepts exactly
+    the same ops. Returns whatever the dispatched method returns.
+    """
+    if op.kind == "insert":
+        if op.location is None:
+            raise QueryError("insert op requires a location")
+        return target.insert(op.location, op.label, op.category)
+    if op.kind == "delete":
+        if op.object_id is None:
+            raise QueryError("delete op requires an object_id")
+        return target.delete(op.object_id)
+    if op.kind == "move":
+        if op.object_id is None or op.location is None:
+            raise QueryError("move op requires object_id and location")
+        return target.move(op.object_id, op.location)
+    raise QueryError(f"unknown update kind {op.kind!r}; expected {UPDATE_KINDS}")
+
+
 @dataclass(slots=True)
 class ObjectSet:
-    """A collection of indoor objects, validated against a venue."""
+    """A collection of indoor objects, validated against a venue.
 
-    objects: list[IndoorObject] = field(default_factory=list)
+    Storage is a dense list indexed by object id; deleted slots hold
+    ``None`` (tombstones). Iteration yields live objects only and
+    ``len`` counts them; ``capacity`` is the total id space including
+    tombstones.
+    """
+
+    objects: list[IndoorObject | None] = field(default_factory=list)
+    #: bumped on every successful insert/delete/move — consumers (e.g.
+    #: the query engine's kNN/range caches) compare versions to detect
+    #: that cached object-dependent results went stale.
+    version: int = 0
 
     def __len__(self) -> int:
-        return len(self.objects)
+        return sum(1 for o in self.objects if o is not None)
 
     def __iter__(self):
-        return iter(self.objects)
+        return (o for o in self.objects if o is not None)
 
-    def __getitem__(self, idx: int) -> IndoorObject:
-        return self.objects[idx]
+    def __getitem__(self, object_id: int) -> IndoorObject:
+        obj = self.objects[object_id]
+        if obj is None:
+            raise QueryError(f"object {object_id} has been deleted")
+        return obj
+
+    @property
+    def capacity(self) -> int:
+        """Total id slots (live + tombstoned); ids are ``< capacity``."""
+        return len(self.objects)
+
+    def get(self, object_id: int) -> IndoorObject | None:
+        """The object, or ``None`` when deleted or out of range."""
+        if 0 <= object_id < len(self.objects):
+            return self.objects[object_id]
+        return None
+
+    def live_ids(self) -> list[int]:
+        return [o.object_id for o in self.objects if o is not None]
 
     def validate(self, space: IndoorSpace) -> None:
-        """Check ids are dense and partitions exist."""
+        """Check ids match their slots and partitions exist (tombstones
+        are skipped)."""
         for i, obj in enumerate(self.objects):
+            if obj is None:
+                continue
             if obj.object_id != i:
-                raise QueryError(f"object id {obj.object_id} does not match index {i}")
+                raise QueryError(f"object id {obj.object_id} does not match slot {i}")
             space.validate_point(obj.location)
 
+    # ------------------------------------------------------------------
+    # Dynamic updates (paper §3.4: objects move, appear and disappear)
+    # ------------------------------------------------------------------
+    def insert(self, location: IndoorPoint, label: str = "", category: str = "") -> int:
+        """Add a new object; returns its (freshly assigned) id."""
+        oid = len(self.objects)
+        self.objects.append(IndoorObject(oid, location, label or f"object-{oid}", category))
+        self.version += 1
+        return oid
+
+    def delete(self, object_id: int) -> IndoorObject:
+        """Remove an object (tombstoning its id); returns the removed object."""
+        obj = self[object_id]
+        self.objects[object_id] = None
+        self.version += 1
+        return obj
+
+    def move(self, object_id: int, location: IndoorPoint) -> IndoorObject:
+        """Relocate an object; returns the *previous* state of the object."""
+        old = self[object_id]
+        self.objects[object_id] = IndoorObject(object_id, location, old.label, old.category)
+        self.version += 1
+        return old
+
+    def apply(self, op: UpdateOp):
+        """Apply one :class:`UpdateOp`; returns what the matching method
+        returns (the new id for inserts, the removed/previous object for
+        deletes/moves)."""
+        return apply_update(self, op)
+
+    # ------------------------------------------------------------------
     def by_category(self, category: str) -> "ObjectSet":
         """Filtered (re-indexed) subset — the paper's adaptability hook
         for keyword-style filtering (§1.3 'High adaptability')."""
-        subset = [o for o in self.objects if o.category == category]
+        subset = [o for o in self if o.category == category]
         return ObjectSet(
             [
                 IndoorObject(i, o.location, o.label, o.category)
@@ -59,7 +174,7 @@ class ObjectSet:
         )
 
     def partitions(self) -> set[int]:
-        return {o.location.partition_id for o in self.objects}
+        return {o.location.partition_id for o in self}
 
 
 def make_object_set(

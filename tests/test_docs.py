@@ -1,0 +1,27 @@
+"""Docs stay executable: README/ARCHITECTURE snippets and links.
+
+Runs ``tools/check_docs.py`` (the same check CI's docs job runs): every
+fenced ```python block in the two documents must execute against the
+current code, and every relative link must resolve.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+
+
+def test_docs_snippets_and_links():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_docs.py"), "README.md", "ARCHITECTURE.md"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+    assert proc.returncode == 0, f"docs check failed:\n{proc.stdout}\n{proc.stderr}"
+    assert "README.md" in proc.stdout and "ARCHITECTURE.md" in proc.stdout

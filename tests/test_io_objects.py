@@ -74,6 +74,20 @@ class TestObjectsRoundTrip:
         with pytest.raises(VenueError):
             objects_from_dict(doc)
 
+    def test_round_trip_preserves_tombstoned_ids(self, fig1_space, fig1_objects):
+        """Deleted ids — including trailing ones — survive serialization
+        and are never re-assigned by the reloaded set."""
+        import pickle
+
+        objs = pickle.loads(pickle.dumps(fig1_objects))
+        last = objs.capacity - 1
+        objs.delete(1)
+        objs.delete(last)
+        clone = objects_from_dict(objects_to_dict(objs))
+        assert clone.capacity == objs.capacity
+        assert clone.live_ids() == objs.live_ids()
+        assert clone.insert(objs[0].location) == objs.capacity  # not `last`
+
 
 class TestObjectSet:
     def test_make_object_set_validates(self, fig1_space):

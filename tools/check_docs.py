@@ -1,0 +1,102 @@
+"""Docs checker: execute fenced python snippets and verify local links.
+
+Keeps README.md / ARCHITECTURE.md honest — every ```python block must
+actually run against the current code, and every relative markdown link
+must point at a file that exists. CI runs this alongside the test
+workflow; locally::
+
+    PYTHONPATH=src python tools/check_docs.py README.md ARCHITECTURE.md
+
+Rules:
+
+* ```python blocks in one file are executed **cumulatively**, top to
+  bottom, in a single shared namespace — later snippets may use names
+  the earlier ones defined (mirroring how a reader follows the doc).
+* Blocks fenced with any other language (```bash, ```text, …) are
+  skipped.
+* Relative links/images ``[text](target)`` are resolved against the
+  repo root and must exist (``http(s):``/``mailto:`` and ``#anchor``
+  links are skipped).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(r"^```(\w*)\s*$")
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def extract_python_blocks(text: str) -> list[tuple[int, str]]:
+    """``(starting line number, source)`` for every ```python block."""
+    blocks: list[tuple[int, str]] = []
+    in_block = False
+    lang = ""
+    buf: list[str] = []
+    start = 0
+    for lineno, line in enumerate(text.splitlines(), 1):
+        m = FENCE_RE.match(line.strip())
+        if m and not in_block:
+            in_block, lang, buf, start = True, m.group(1).lower(), [], lineno + 1
+        elif line.strip() == "```" and in_block:
+            if lang == "python":
+                blocks.append((start, "\n".join(buf)))
+            in_block = False
+        elif in_block:
+            buf.append(line)
+    return blocks
+
+
+def check_links(path: Path, text: str) -> list[str]:
+    errors = []
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#")[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.name}: broken link -> {target}")
+    return errors
+
+
+def check_snippets(path: Path, text: str) -> list[str]:
+    errors = []
+    namespace: dict = {"__name__": f"docs_{path.stem}"}
+    for start, source in extract_python_blocks(text):
+        try:
+            code = compile(source, f"{path.name}:{start}", "exec")
+            exec(code, namespace)  # noqa: S102 - that is the point
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(f"{path.name}:{start}: snippet failed: {exc!r}")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", default=["README.md", "ARCHITECTURE.md"])
+    args = parser.parse_args(argv)
+
+    errors: list[str] = []
+    for name in args.files:
+        path = (REPO_ROOT / name).resolve()
+        if not path.exists():
+            errors.append(f"missing doc file: {name}")
+            continue
+        text = path.read_text()
+        errors += check_links(path, text)
+        errors += check_snippets(path, text)
+        n = len(extract_python_blocks(text))
+        print(f"{path.name}: {n} python snippet(s) executed")
+    for e in errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(main())
