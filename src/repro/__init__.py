@@ -11,6 +11,9 @@ Public API highlights:
 * :class:`ObjectIndex` — embed points of interest for kNN/range queries.
 * :mod:`repro.baselines` — DistMx, DistAw/DistAw++, G-tree and ROAD
   comparison indexes.
+* :mod:`repro.storage` — snapshot store: persist built indexes to
+  versioned, integrity-checked files and warm-start engines without
+  rebuild (``QueryEngine.from_snapshot``, ``SnapshotCatalog``).
 * :mod:`repro.datasets` — synthetic venue generators (MC/Men/CL families)
   and query workloads.
 

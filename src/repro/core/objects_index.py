@@ -166,6 +166,65 @@ class ObjectIndex:
         return apply_update(self, op)
 
     # ------------------------------------------------------------------
+    # Serialized state (snapshots, :mod:`repro.storage`)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe serialized state of the embedding.
+
+        Covers the leaf object lists, the per-door sorted access lists,
+        the subtree counts, the per-object entry map and the ``updates``
+        counter — everything needed to restore the index without
+        re-embedding a single object. Int-keyed maps are emitted as
+        sorted pair lists (JSON objects would stringify the keys).
+        """
+        return {
+            "updates": self.updates,
+            "leaf_objects": [
+                [leaf, list(oids)] for leaf, oids in sorted(self.leaf_objects.items())
+            ],
+            "access_lists": [
+                [
+                    leaf,
+                    [
+                        [door, [[d, oid] for d, oid in lst]]
+                        for door, lst in sorted(per_door.items())
+                    ],
+                ]
+                for leaf, per_door in sorted(self.access_lists.items())
+            ],
+            "node_counts": [list(kv) for kv in sorted(self.node_counts.items())],
+            "entries": [
+                [oid, leaf, [[door, d] for door, d in sorted(dists.items())]]
+                for oid, (leaf, dists) in sorted(self._entries.items())
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls, tree: "IPTree", objects: ObjectSet, state: dict
+    ) -> "ObjectIndex":
+        """Restore an index from :meth:`to_state` output with zero
+        re-embedding. ``tree`` and ``objects`` must be the instances the
+        state was serialized against (the snapshot layer restores all
+        three together)."""
+        objects.validate(tree.space)
+        index = object.__new__(cls)
+        index.tree = tree
+        index.objects = objects
+        index.updates = state["updates"]
+        index.leaf_objects = {leaf: list(oids) for leaf, oids in state["leaf_objects"]}
+        index.access_lists = {
+            leaf: {door: [(d, oid) for d, oid in lst] for door, lst in per_door}
+            for leaf, per_door in state["access_lists"]
+        }
+        index.node_counts = {nid: count for nid, count in state["node_counts"]}
+        index._entries = {
+            oid: (leaf, {door: d for door, d in dists})
+            for oid, leaf, dists in state["entries"]
+        }
+        return index
+
+    # ------------------------------------------------------------------
     def count(self, node_id: int) -> int:
         """Objects in the subtree of ``node_id`` (0 when empty)."""
         return self.node_counts.get(node_id, 0)

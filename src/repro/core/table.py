@@ -78,5 +78,44 @@ class DistanceTable:
         """True when every entry has been populated (used by tests)."""
         return all(v != _INF for row in self._dist for v in row)
 
+    # ------------------------------------------------------------------
+    # Serialized state (snapshots, :mod:`repro.storage`)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe serialized state.
+
+        The door lists stay readable JSON; the distance and next-hop
+        matrices are packed row-major via :mod:`repro.model.packing`
+        (bit-exact for every float including the ``inf`` of unreachable
+        entries, and ~10x cheaper to parse than number tokens).
+        """
+        from ..model.packing import pack_f64, pack_i64
+
+        return {
+            "rows": list(self.row_doors),
+            "cols": list(self.col_doors),
+            "dist": pack_f64([v for row in self._dist for v in row]),
+            "hop": pack_i64([v for row in self._hop for v in row]),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DistanceTable":
+        """Rebuild a table from :meth:`to_state` output without
+        re-running any shortest-path computation."""
+        from ..model.packing import unpack_f64, unpack_i64
+
+        table = cls(state["rows"], state["cols"])
+        ncols = len(table.col_doors)
+        if ncols:
+            flat_d = unpack_f64(state["dist"])
+            flat_h = unpack_i64(state["hop"])
+            table._dist = [
+                flat_d[i : i + ncols] for i in range(0, len(flat_d), ncols)
+            ]
+            table._hop = [
+                flat_h[i : i + ncols] for i in range(0, len(flat_h), ncols)
+            ]
+        return table
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DistanceTable({self.num_rows}x{self.num_cols})"

@@ -255,6 +255,80 @@ class IPTree:
         )
 
     # ------------------------------------------------------------------
+    # Serialized state (snapshots, :mod:`repro.storage`)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Complete JSON-safe serialized state (excluding the venue).
+
+        Everything :meth:`build` computes is captured — node structure,
+        leaf partitions, distance matrices (leaf + group tables), the
+        door->leaf maps, superior doors and the D2D graph — so
+        :meth:`from_state` restores a ready-to-query tree with **zero
+        rebuild**. Derived-in-constructor state (depths, ancestor
+        chains) is recomputed on load in O(nodes).
+        """
+        return {
+            "delta": self.delta,
+            "t": self.t,
+            "build_seconds": self.build_seconds,
+            "root": self.root_id,
+            "nodes": [
+                {
+                    "level": n.level,
+                    "parent": n.parent,
+                    "children": list(n.children),
+                    "partitions": list(n.partitions),
+                    "access_doors": list(n.access_doors),
+                    "table": n.table.to_state() if n.table is not None else None,
+                }
+                for n in self.nodes
+            ],
+            "leaf_node_of_partition": list(self.leaf_node_of_partition),
+            "leaf_nodes_of_door": [list(t) for t in self.leaf_nodes_of_door],
+            "door_is_leaf_access": [int(b) for b in self.door_is_leaf_access],
+            "superior_doors": [list(s) for s in self.superior_doors],
+            "d2d": self.d2d.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, space: IndoorSpace, state: dict) -> "IPTree":
+        """Reconstruct a built tree from :meth:`to_state` output.
+
+        ``space`` must be the venue the state was serialized for (the
+        snapshot layer enforces this with a fingerprint check).
+        """
+        nodes = [
+            TreeNode(
+                nid=i,
+                level=ns["level"],
+                parent=ns["parent"],
+                children=list(ns["children"]),
+                partitions=list(ns["partitions"]),
+                access_doors=list(ns["access_doors"]),
+                table=(
+                    DistanceTable.from_state(ns["table"])
+                    if ns["table"] is not None
+                    else None
+                ),
+            )
+            for i, ns in enumerate(state["nodes"])
+        ]
+        return cls(
+            space=space,
+            d2d=Graph.from_state(state["d2d"]),
+            nodes=nodes,
+            root_id=state["root"],
+            leaf_node_of_partition=list(state["leaf_node_of_partition"]),
+            leaf_nodes_of_door=[tuple(t) for t in state["leaf_nodes_of_door"]],
+            door_is_leaf_access=[bool(b) for b in state["door_is_leaf_access"]],
+            superior_doors=[list(s) for s in state["superior_doors"]],
+            delta=state["delta"],
+            t=state["t"],
+            # run metadata: the snapshot layer hoists it into the header
+            build_seconds=state.get("build_seconds", 0.0),
+        )
+
+    # ------------------------------------------------------------------
     # Structure helpers
     # ------------------------------------------------------------------
     def _assign_depths(self) -> None:

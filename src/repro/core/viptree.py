@@ -94,6 +94,56 @@ class VIPTree(IPTree):
                     child = parent
 
     # ------------------------------------------------------------------
+    # Serialized state (snapshots, :mod:`repro.storage`)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """IP-Tree state plus the per-door ancestor materialization.
+
+        The store is the bulk of a VIP-Tree snapshot, so it is flattened
+        into four packed arrays (:mod:`repro.model.packing`): per-door
+        entry counts, then the ``(ancestor access door, distance, via)``
+        triples concatenated in door order, each door's entries sorted
+        by access door for byte-stable snapshot hashes.
+        """
+        from ..model.packing import pack_f64, pack_i64
+
+        state = super().to_state()
+        counts: list[int] = []
+        keys: list[int] = []
+        dists: list[float] = []
+        vias: list[int] = []
+        for store in self.vip_store:
+            counts.append(len(store))
+            for a, (d, via) in sorted(store.items()):
+                keys.append(a)
+                dists.append(d)
+                vias.append(via)
+        state["vip"] = {
+            "counts": pack_i64(counts),
+            "keys": pack_i64(keys),
+            "dist": pack_f64(dists),
+            "via": pack_i64(vias),
+        }
+        return state
+
+    @classmethod
+    def from_state(cls, space: IndoorSpace, state: dict) -> "VIPTree":
+        from ..model.packing import unpack_f64, unpack_i64
+
+        tree = super().from_state(space, state)
+        vip = state["vip"]
+        keys = unpack_i64(vip["keys"])
+        values = list(zip(unpack_f64(vip["dist"]), unpack_i64(vip["via"])))
+        store: list[dict[int, tuple[float, int]]] = []
+        pos = 0
+        for count in unpack_i64(vip["counts"]):
+            end = pos + count
+            store.append(dict(zip(keys[pos:end], values[pos:end])))
+            pos = end
+        tree.vip_store = store
+        return tree
+
+    # ------------------------------------------------------------------
     def endpoint_distances(
         self, endpoint, target_node: int, leaf_id: int | None = None, collect_chain: bool = False
     ):

@@ -231,6 +231,44 @@ class QueryEngine:
         self._objects_version = self.objects.version if self.objects is not None else 0
 
     # ------------------------------------------------------------------
+    # Snapshots (persistence, :mod:`repro.storage`)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_snapshot(cls, path, *, space=None, **engine_kwargs) -> "QueryEngine":
+        """Warm-start an engine from a snapshot file — zero rebuild.
+
+        The snapshot's index, object set and (for trees) the restored
+        :class:`ObjectIndex` are wired straight into a new engine.
+        ``space``, when given, fingerprint-checks the snapshot against
+        the venue the caller intends to serve; remaining keyword
+        arguments are the usual engine knobs (``cache=``,
+        ``distance_cache_size=``, ...).
+
+        Raises:
+            SnapshotError: corrupted file, format-version mismatch, or
+                venue-fingerprint mismatch.
+        """
+        from ..storage.snapshot import load_snapshot  # lazy: storage sits above core
+
+        return load_snapshot(path, space=space).engine(engine_cls=cls, **engine_kwargs)
+
+    def save_snapshot(self, path):
+        """Persist this engine's built index + objects to ``path``.
+
+        Serializes the wrapped index and, when present, the live
+        :class:`ObjectIndex` (tree engines) or :class:`ObjectSet`
+        (baseline engines) — including its ``version`` counter,
+        capacity and tombstoned ids. Caches and counters are runtime
+        state and are not persisted; a reloaded engine starts cold on
+        caches but warm on everything expensive. Returns the written
+        header (:class:`~repro.storage.snapshot.SnapshotInfo`).
+        """
+        from ..storage.snapshot import save_snapshot
+
+        objects = self.object_index if self.object_index is not None else self.objects
+        return save_snapshot(path, self.index, objects)
+
+    # ------------------------------------------------------------------
     # Single-query API
     # ------------------------------------------------------------------
     def distance(self, source, target) -> float:

@@ -34,3 +34,13 @@ class QueryError(ReproError):
 
 class ConstructionError(ReproError):
     """Index construction failed (e.g. invalid minimum degree)."""
+
+
+class SnapshotError(ReproError):
+    """An index snapshot cannot be written, read or trusted.
+
+    Raised by :mod:`repro.storage` on unknown index kinds, corrupted or
+    truncated snapshot files, format-version mismatches, and
+    venue-fingerprint mismatches (loading a snapshot against a different
+    venue than the one it was built for).
+    """

@@ -114,5 +114,47 @@ class Graph:
         """Rough memory estimate: 2 * edges * (int + float) + vertex dicts."""
         return self._num_edges * 2 * 16 + self.num_vertices * 64
 
+    # ------------------------------------------------------------------
+    # Serialized state (snapshots, :mod:`repro.storage`)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe serialized state: vertex count + packed edge arrays.
+
+        Edges are emitted sorted by ``(u, v)`` and packed column-wise
+        (:mod:`repro.model.packing`) so the byte-level encoding is
+        identical across runs — snapshot hashes must be reproducible.
+        """
+        from ..model.packing import pack_f64, pack_i64
+
+        es = sorted(self.edges())
+        return {
+            "n": self.num_vertices,
+            "u": pack_i64([u for u, _, _ in es]),
+            "v": pack_i64([v for _, v, _ in es]),
+            "w": pack_f64([w for _, _, w in es]),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Graph":
+        """Rebuild a graph from :meth:`to_state` output.
+
+        The edge list was written deduplicated with ``u < v``, so the
+        adjacency maps are filled directly instead of re-running
+        :meth:`add_edge`'s parallel-edge handling per edge.
+        """
+        from ..model.packing import unpack_f64, unpack_i64
+
+        g = cls(state["n"])
+        adj = g._adj
+        edges = 0
+        for u, v, w in zip(
+            unpack_i64(state["u"]), unpack_i64(state["v"]), unpack_f64(state["w"])
+        ):
+            adj[u][v] = w
+            adj[v][u] = w
+            edges += 1
+        g._num_edges = edges
+        return g
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Graph(V={self.num_vertices}, E={self._num_edges})"

@@ -14,9 +14,12 @@ from .entities import (
 from .geometry import DEFAULT_FLOOR_HEIGHT, Point, Rect, euclidean
 from .indoor_space import IndoorSpace, VenueStats
 from .io_json import (
+    canonical_dumps,
+    load_objects,
     load_space,
     objects_from_dict,
     objects_to_dict,
+    save_objects,
     save_space,
     space_from_dict,
     space_to_dict,
@@ -43,11 +46,14 @@ __all__ = [
     "average_out_degree",
     "build_ab_graph",
     "build_d2d_graph",
+    "canonical_dumps",
     "euclidean",
+    "load_objects",
     "load_space",
     "make_object_set",
     "objects_from_dict",
     "objects_to_dict",
+    "save_objects",
     "save_space",
     "space_from_dict",
     "space_to_dict",

@@ -3,6 +3,12 @@
 Venues round-trip losslessly (ids, kinds, footprints, fixed traversal
 weights). The format is a stable, versioned document so saved venues can
 be shared between benchmark runs.
+
+Dumps are **deterministic**: :func:`canonical_dumps` emits sorted keys,
+compact separators and shortest-round-trip float repr, so serializing
+the same venue twice yields byte-identical output. The snapshot layer
+(:mod:`repro.storage`) relies on this for reproducible venue
+fingerprints and snapshot hashes.
 """
 
 from __future__ import annotations
@@ -17,6 +23,20 @@ from .indoor_space import IndoorSpace
 from .objects import IndoorObject, ObjectSet
 
 FORMAT_VERSION = 1
+
+
+def canonical_dumps(doc) -> str:
+    """Deterministic JSON encoding of a document.
+
+    * keys sorted, separators compact — no environment-dependent layout,
+    * floats use Python's shortest round-trip ``repr`` (exact to the
+      bit, stable across runs and platforms),
+    * non-finite floats are kept (``Infinity`` tokens — unreachable
+      distance-table entries round-trip through ``json.loads``).
+
+    Fingerprints and snapshot hashes are defined over this encoding.
+    """
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
 
 def space_to_dict(space: IndoorSpace) -> dict:
@@ -90,7 +110,7 @@ def space_from_dict(data: dict) -> IndoorSpace:
 
 
 def save_space(space: IndoorSpace, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(space_to_dict(space)))
+    Path(path).write_text(canonical_dumps(space_to_dict(space)))
 
 
 def load_space(path: str | Path) -> IndoorSpace:
@@ -103,6 +123,9 @@ def objects_to_dict(objects: ObjectSet) -> dict:
         # id-space size including trailing tombstones, so a round-trip
         # never re-assigns a deleted id
         "capacity": objects.capacity,
+        # mutation counter: consumers (engine caches, snapshots) compare
+        # it to detect staleness, so a round-trip must not reset it
+        "set_version": objects.version,
         "objects": [
             {
                 "id": o.object_id,
@@ -135,4 +158,12 @@ def objects_from_dict(data: dict) -> ObjectSet:
             label=o.get("label", ""),
             category=o.get("category", ""),
         )
-    return ObjectSet(slots)
+    return ObjectSet(slots, version=data.get("set_version", 0))
+
+
+def save_objects(objects: ObjectSet, path: str | Path) -> None:
+    Path(path).write_text(canonical_dumps(objects_to_dict(objects)))
+
+
+def load_objects(path: str | Path) -> ObjectSet:
+    return objects_from_dict(json.loads(Path(path).read_text()))

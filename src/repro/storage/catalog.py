@@ -1,0 +1,176 @@
+"""SnapshotCatalog: a directory of snapshots for many venues.
+
+The seed of multi-venue serving: one catalog directory holds one
+subdirectory per *venue fingerprint* (so two venues sharing a name — or
+one venue across edits — never collide), each containing one snapshot
+per index kind::
+
+    <root>/
+      mc-2f9a81c04d3b/
+        vip-tree.snap
+        distmx.snap
+      men-2-77e03a129bf0/
+        vip-tree.snap
+
+Keys are ``(venue, kind)``; the venue side is always the fingerprint,
+never just the name. :meth:`SnapshotCatalog.engine_for` is the
+warm-start entry point a serving process calls per venue: load the
+snapshot when one exists, otherwise cold-build, save, and serve.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..core.objects_index import ObjectIndex
+from ..core.tree import IPTree
+from ..exceptions import SnapshotError
+from ..model.indoor_space import IndoorSpace
+from .codec import build_index, resolve_kind
+from .snapshot import (
+    SNAPSHOT_SUFFIX,
+    Snapshot,
+    SnapshotInfo,
+    load_snapshot,
+    read_snapshot_info,
+    save_snapshot,
+    venue_fingerprint,
+)
+
+#: fingerprint prefix length used in directory names — 12 hex chars
+#: (48 bits) is plenty against accidental collision inside one catalog.
+_FP_PREFIX = 12
+
+
+def _slug(name: str) -> str:
+    s = re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-")
+    return s or "venue"
+
+
+def _kind_slug(kind: str) -> str:
+    # "+" would be stripped by _slug, colliding DistAw++ with DistAw
+    return _slug(kind.replace("+", "p"))
+
+
+class SnapshotCatalog:
+    """Manage the snapshots of many venues under one root directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Paths & keys
+    # ------------------------------------------------------------------
+    def venue_dir(self, space: IndoorSpace) -> Path:
+        """The venue's directory: ``<slug(name)>-<fingerprint[:12]>``."""
+        return self.root / f"{_slug(space.name)}-{venue_fingerprint(space)[:_FP_PREFIX]}"
+
+    def path_for(self, space: IndoorSpace, kind: str) -> Path:
+        """Where ``(space, kind)``'s snapshot lives (existing or not)."""
+        return self.venue_dir(space) / f"{_kind_slug(resolve_kind(kind))}{SNAPSHOT_SUFFIX}"
+
+    def has(self, space: IndoorSpace, kind: str) -> bool:
+        return self.path_for(space, kind).is_file()
+
+    # ------------------------------------------------------------------
+    # Save / load
+    # ------------------------------------------------------------------
+    def save(self, index, objects=None) -> SnapshotInfo:
+        """Snapshot a built index into its catalog slot.
+
+        Returns the written header (its ``path`` field is the slot)."""
+        from .codec import kind_of
+
+        path = self.path_for(index.space, kind_of(index))
+        return save_snapshot(path, index, objects)
+
+    def load(self, space: IndoorSpace, kind: str) -> Snapshot:
+        """Load ``(space, kind)``, fingerprint-checked against ``space``.
+
+        Raises:
+            SnapshotError: no snapshot for this venue + kind (or a
+                corrupted/mismatched one).
+        """
+        wanted = resolve_kind(kind)
+        path = self.path_for(space, kind)
+        if not path.is_file():
+            raise SnapshotError(
+                f"no {wanted} snapshot for venue {space.name!r} "
+                f"in catalog {self.root}"
+            )
+        snapshot = load_snapshot(path, space=space)
+        if snapshot.info.kind != wanted:
+            raise SnapshotError(
+                f"{path}: catalog slot for {wanted} holds a "
+                f"{snapshot.info.kind} snapshot"
+            )
+        return snapshot
+
+    def entries(self) -> list[SnapshotInfo]:
+        """Headers of every readable snapshot under the root, sorted by
+        path. Unreadable or foreign files are skipped silently — the
+        catalog owns only its naming scheme, not the whole directory."""
+        out: list[SnapshotInfo] = []
+        if not self.root.is_dir():
+            return out
+        for path in sorted(self.root.rglob(f"*{SNAPSHOT_SUFFIX}")):
+            try:
+                out.append(read_snapshot_info(path))
+            except SnapshotError:
+                continue
+        return out
+
+    # ------------------------------------------------------------------
+    # Warm start
+    # ------------------------------------------------------------------
+    def load_or_build(
+        self, space: IndoorSpace, kind: str = "VIP-Tree", objects=None, builder=None
+    ) -> tuple[Snapshot, bool]:
+        """``(snapshot, loaded)`` for a venue — the warm-start primitive.
+
+        Loads the catalog's snapshot when present (``loaded=True``);
+        otherwise cold-builds the index (``builder(space)`` when given,
+        else the kind's default builder), saves it together with
+        ``objects``, and serves the just-built live state directly
+        (``loaded=False``) — no redundant re-parse of the file it just
+        wrote. Either way the result is ready to query.
+        """
+        if self.has(space, kind):
+            return self.load(space, kind), True
+        index = builder(space) if builder is not None else build_index(kind, space)
+        # An ObjectIndex argument wraps some *previous* tree — re-embed
+        # its object set into the freshly built index (when that index
+        # is a tree; baselines take the bare set).
+        object_set = objects.objects if isinstance(objects, ObjectIndex) else objects
+        object_index = (
+            ObjectIndex(index, object_set)
+            if object_set is not None and isinstance(index, IPTree)
+            else None
+        )
+        info = self.save(index, object_index if object_index is not None else object_set)
+        snapshot = Snapshot(
+            info=info,
+            space=space,
+            index=index,
+            objects=object_set,
+            object_index=object_index,
+        )
+        return snapshot, False
+
+    def engine_for(
+        self,
+        space: IndoorSpace,
+        kind: str = "VIP-Tree",
+        objects=None,
+        builder=None,
+        **engine_kwargs,
+    ):
+        """A warm-started :class:`~repro.engine.engine.QueryEngine`.
+
+        ``objects`` is only used on the cold-build path (it is saved
+        into the new snapshot); a loaded snapshot serves the object set
+        it was saved with.
+        """
+        snap, _ = self.load_or_build(space, kind, objects=objects, builder=builder)
+        return snap.engine(**engine_kwargs)

@@ -1,0 +1,120 @@
+"""Index codec registry: one (encode, decode, build) triple per class.
+
+Every index in the library exposes a complete serialized state through
+``to_state()`` / ``from_state(space, state)`` (trees in
+:mod:`repro.core`, baselines in :mod:`repro.baselines`). This module is
+the registry over those hooks: it maps the canonical index kind (the
+class's ``index_name``, e.g. ``"VIP-Tree"``) and its CLI-friendly
+aliases (``"viptree"``) to the class and to a default cold builder, so
+the snapshot layer and the ``python -m repro.storage`` CLI never
+hard-code a class.
+"""
+
+from __future__ import annotations
+
+from ..baselines.distaware import DistAware, DistAwPlusPlus
+from ..baselines.distmx import DistanceMatrix
+from ..baselines.gtree import GTree
+from ..baselines.oracle import DijkstraOracle
+from ..baselines.road import Road
+from ..core.tree import IPTree
+from ..core.viptree import VIPTree
+from ..exceptions import SnapshotError
+from ..model.indoor_space import IndoorSpace
+
+#: canonical kind (== ``index_name``) -> index class. ``kind_of``
+#: matches by exact class (not isinstance), so unregistered subclasses
+#: fail loudly instead of being encoded as their base.
+INDEX_CLASSES: dict[str, type] = {
+    cls.index_name: cls
+    for cls in (
+        VIPTree,
+        IPTree,
+        DistanceMatrix,
+        GTree,
+        Road,
+        DistAwPlusPlus,
+        DistAware,
+        DijkstraOracle,
+    )
+}
+
+#: lowercase aliases accepted by :func:`resolve_kind` (CLI spellings).
+_ALIASES: dict[str, str] = {
+    "viptree": "VIP-Tree",
+    "vip": "VIP-Tree",
+    "iptree": "IP-Tree",
+    "ip": "IP-Tree",
+    "distmx": "DistMx",
+    "matrix": "DistMx",
+    "gtree": "G-Tree",
+    "road": "ROAD",
+    "distaw": "DistAw",
+    "distaw++": "DistAw++",
+    "distawpp": "DistAw++",
+    "dijkstra": "Dijkstra",
+    "oracle": "Dijkstra",
+}
+_ALIASES.update({kind.lower(): kind for kind in INDEX_CLASSES})
+
+#: kind -> zero-config cold builder (what ``build_index`` runs when no
+#: prebuilt index is supplied).
+_BUILDERS = {
+    "VIP-Tree": lambda space: VIPTree.build(space),
+    "IP-Tree": lambda space: IPTree.build(space),
+    "DistMx": lambda space: DistanceMatrix(space),
+    "G-Tree": lambda space: GTree(space),
+    "ROAD": lambda space: Road(space),
+    "DistAw": lambda space: DistAware(space),
+    "DistAw++": lambda space: DistAwPlusPlus(space),
+    "Dijkstra": lambda space: DijkstraOracle(space),
+}
+
+
+def known_kinds() -> list[str]:
+    """Canonical kinds with a registered codec, in registry order."""
+    return list(INDEX_CLASSES)
+
+
+def resolve_kind(name: str) -> str:
+    """Normalize a kind name or CLI alias to the canonical kind.
+
+    Raises:
+        SnapshotError: unknown kind.
+    """
+    kind = _ALIASES.get(name.strip().lower())
+    if kind is None:
+        raise SnapshotError(
+            f"unknown index kind {name!r}; expected one of {sorted(set(_ALIASES))}"
+        )
+    return kind
+
+
+def kind_of(index) -> str:
+    """The canonical kind of a live index instance.
+
+    Resolved by class (not by ``index_name`` alone) so subclasses
+    outside the registry still fail loudly instead of being silently
+    encoded as their base class.
+    """
+    for kind, cls in INDEX_CLASSES.items():
+        if type(index) is cls:
+            return kind
+    raise SnapshotError(
+        f"no snapshot codec registered for {type(index).__name__}"
+    )
+
+
+def build_index(kind: str, space: IndoorSpace):
+    """Cold-build an index of ``kind`` (alias accepted) for a venue."""
+    return _BUILDERS[resolve_kind(kind)](space)
+
+
+def encode_index(index) -> tuple[str, dict]:
+    """``(kind, JSON-safe state)`` for any registered index."""
+    return kind_of(index), index.to_state()
+
+
+def decode_index(kind: str, space: IndoorSpace, state: dict):
+    """Restore a ready-to-query index from its serialized state."""
+    return INDEX_CLASSES[resolve_kind(kind)].from_state(space, state)

@@ -1,0 +1,400 @@
+"""Versioned, integrity-checked snapshot files for built indexes.
+
+A snapshot file persists one fully built index — IP-Tree, VIP-Tree or
+any baseline — together with the venue it was built for and (optionally)
+its object set and leaf-attached :class:`~repro.core.objects_index.ObjectIndex`,
+so a later process loads a **ready-to-query** index with zero rebuild.
+
+File layout (all deterministic — saving the same build twice yields
+byte-identical files, so snapshot hashes are reproducible)::
+
+    <header JSON>\\n
+    <payload: canonical JSON of the body document>
+
+The single-line header carries the magic string, the snapshot format
+version, the index kind, the **venue fingerprint** (SHA-256 of the
+venue's canonical JSON document) and the payload's SHA-256 + byte
+length. :func:`load_snapshot` refuses files whose magic/format do not
+match, whose payload fails the hash check (truncation, corruption), or
+— when the caller supplies the venue they intend to query — whose
+fingerprint differs from that venue (a stale snapshot of an edited or
+different venue must never serve answers).
+
+The body document holds ``space`` (venue), ``index`` (the class's
+``to_state()`` output, dispatched through :mod:`repro.storage.codec`),
+and optional ``objects`` / ``object_index`` sections. Object sets
+round-trip with their ``capacity``, tombstoned ids and ``version``
+counter intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..core.objects_index import ObjectIndex
+from ..core.tree import IPTree
+from ..exceptions import SnapshotError
+from ..model.io_json import (
+    canonical_dumps,
+    objects_from_dict,
+    objects_to_dict,
+    space_from_dict,
+    space_to_dict,
+)
+from ..model.indoor_space import IndoorSpace
+from ..model.objects import ObjectSet
+from .codec import decode_index, encode_index
+
+MAGIC = "repro-index-snapshot"
+FORMAT_VERSION = 1
+
+#: every field the parsers read; their absence (despite valid magic and
+#: format) must surface as SnapshotError, never KeyError
+_REQUIRED_HEADER_KEYS = (
+    "kind",
+    "venue",
+    "fingerprint",
+    "payload_sha256",
+    "payload_bytes",
+    "num_doors",
+    "num_partitions",
+    "num_objects",
+    "has_object_index",
+)
+
+#: conventional file suffix (the catalog and CLI use it; not enforced)
+SNAPSHOT_SUFFIX = ".snap"
+
+
+def venue_fingerprint(space: IndoorSpace) -> str:
+    """SHA-256 of the venue's canonical JSON document.
+
+    Stable across runs (deterministic dumps) and sensitive to any
+    structural edit — moving one door changes the fingerprint, which is
+    exactly what invalidates every snapshot built for the old venue.
+
+    The digest is cached on the instance (venues are immutable after
+    validation), so the hot warm-start path — fingerprint-checking a
+    snapshot against the venue about to be served — costs one attribute
+    read after the first call.
+    """
+    cached = getattr(space, "_venue_fingerprint", None)
+    if cached is None:
+        cached = hashlib.sha256(
+            canonical_dumps(space_to_dict(space)).encode("utf-8")
+        ).hexdigest()
+        space._venue_fingerprint = cached
+    return cached
+
+
+@dataclass(slots=True, frozen=True)
+class SnapshotInfo:
+    """The (verified) header of a snapshot file."""
+
+    format: int
+    kind: str
+    venue: str
+    fingerprint: str
+    payload_sha256: str
+    payload_bytes: int
+    num_doors: int
+    num_partitions: int
+    num_objects: int | None
+    has_object_index: bool
+    #: wall-clock seconds the cold build took (metadata — excluded from
+    #: the hashed payload so snapshot hashes stay reproducible)
+    build_seconds: float | None
+    library: str
+    path: str = ""
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(slots=True)
+class Snapshot:
+    """A loaded snapshot: venue + ready-to-query index (+ objects)."""
+
+    info: SnapshotInfo
+    space: IndoorSpace
+    index: object
+    objects: ObjectSet | None = None
+    object_index: ObjectIndex | None = None
+
+    def engine(self, engine_cls=None, **engine_kwargs):
+        """Warm-start a :class:`~repro.engine.engine.QueryEngine`.
+
+        The restored :class:`ObjectIndex` (when present) is handed to
+        the engine directly, so not even the object embedding is
+        rebuilt. ``engine_cls`` lets engine subclasses warm-start as
+        themselves (``MyEngine.from_snapshot`` passes it through).
+        """
+        if engine_cls is None:
+            from ..engine.engine import QueryEngine  # lazy: engine is a higher layer
+
+            engine_cls = QueryEngine
+        objects = self.object_index if self.object_index is not None else self.objects
+        return engine_cls(self.index, objects, **engine_kwargs)
+
+
+def _library_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def save_snapshot(path: str | Path, index, objects=None) -> SnapshotInfo:
+    """Serialize a built index (and optionally its objects) to ``path``.
+
+    Args:
+        path: destination file (parent directories are created).
+        index: any registered index instance (trees or baselines).
+        objects: optional :class:`ObjectSet`, or a tree's
+            :class:`ObjectIndex` — the latter persists the full
+            embedding (leaf lists, sorted access lists, subtree counts)
+            so the loaded engine skips even the object registration.
+
+    Returns:
+        The written header as :class:`SnapshotInfo`.
+
+    Raises:
+        SnapshotError: unregistered index class, or an ``ObjectIndex``
+            that was built for a different tree than ``index``.
+    """
+    kind, state = encode_index(index)
+    # Wall-clock build time is run metadata, not index state: hoist it
+    # into the header so the hashed payload is reproducible across runs.
+    build_seconds = state.pop("build_seconds", None)
+    space = index.space
+    body: dict = {"space": space_to_dict(space), "index": state}
+    object_set: ObjectSet | None = None
+    if isinstance(objects, ObjectIndex):
+        if objects.tree is not index:
+            raise SnapshotError(
+                "object index was built for a different tree than the "
+                "index being snapshotted"
+            )
+        object_set = objects.objects
+        body["object_index"] = objects.to_state()
+    elif isinstance(objects, ObjectSet):
+        object_set = objects
+    elif objects is not None:
+        raise SnapshotError(
+            f"objects must be an ObjectSet or ObjectIndex, got {type(objects).__name__}"
+        )
+    if object_set is not None:
+        body["objects"] = objects_to_dict(object_set)
+
+    payload = canonical_dumps(body).encode("utf-8")
+    header = {
+        "magic": MAGIC,
+        "format": FORMAT_VERSION,
+        "kind": kind,
+        "venue": space.name,
+        "fingerprint": venue_fingerprint(space),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "payload_bytes": len(payload),
+        "num_doors": space.num_doors,
+        "num_partitions": space.num_partitions,
+        "num_objects": len(object_set) if object_set is not None else None,
+        "has_object_index": "object_index" in body,
+        "build_seconds": build_seconds,
+        "library": _library_version(),
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    # Atomic publish: a crash mid-write must never leave a truncated
+    # file at the canonical path (the catalog treats existence as
+    # "snapshot available" and would keep failing to load it).
+    tmp = out.with_name(out.name + ".tmp")
+    tmp.write_bytes(canonical_dumps(header).encode("utf-8") + b"\n" + payload)
+    os.replace(tmp, out)
+    return _info_from_header(header, out)
+
+
+def _info_from_header(header: dict, path: Path) -> SnapshotInfo:
+    return SnapshotInfo(
+        format=header["format"],
+        kind=header["kind"],
+        venue=header["venue"],
+        fingerprint=header["fingerprint"],
+        payload_sha256=header["payload_sha256"],
+        payload_bytes=header["payload_bytes"],
+        num_doors=header["num_doors"],
+        num_partitions=header["num_partitions"],
+        num_objects=header["num_objects"],
+        has_object_index=header["has_object_index"],
+        build_seconds=header.get("build_seconds"),
+        library=header.get("library", ""),
+        path=str(path),
+    )
+
+
+def _parse_header(path: Path, raw: bytes) -> dict:
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"{path}: not a snapshot file ({exc})") from None
+    if not isinstance(header, dict) or header.get("magic") != MAGIC:
+        raise SnapshotError(f"{path}: not a snapshot file (bad magic)")
+    if header.get("format") != FORMAT_VERSION:
+        raise SnapshotError(
+            f"{path}: unsupported snapshot format {header.get('format')!r} "
+            f"(this library reads format {FORMAT_VERSION}); rebuild the snapshot"
+        )
+    missing = [k for k in _REQUIRED_HEADER_KEYS if k not in header]
+    if missing:
+        raise SnapshotError(
+            f"{path}: snapshot header is missing fields {missing} — "
+            "corrupted or hand-edited header"
+        )
+    return header
+
+
+def read_snapshot_info(path: str | Path) -> SnapshotInfo:
+    """Parse and validate a snapshot's header without loading the payload."""
+    p = Path(path)
+    try:
+        with p.open("rb") as fh:
+            first = fh.readline()
+    except OSError as exc:
+        raise SnapshotError(f"{p}: cannot read snapshot ({exc})") from None
+    return _info_from_header(_parse_header(p, first.rstrip(b"\n")), p)
+
+
+def _read_checked(path: Path) -> tuple[dict, bytes]:
+    """Header dict + payload bytes, with magic/format/integrity checks."""
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SnapshotError(f"{path}: cannot read snapshot ({exc})") from None
+    head, sep, payload = raw.partition(b"\n")
+    if not sep:
+        raise SnapshotError(f"{path}: not a snapshot file (missing header line)")
+    header = _parse_header(path, head)
+    if len(payload) != header["payload_bytes"]:
+        raise SnapshotError(
+            f"{path}: payload is {len(payload)} bytes, header says "
+            f"{header['payload_bytes']} — truncated or corrupted snapshot"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header["payload_sha256"]:
+        raise SnapshotError(
+            f"{path}: payload hash mismatch — corrupted snapshot "
+            f"(expected {header['payload_sha256'][:12]}…, got {digest[:12]}…)"
+        )
+    return header, payload
+
+
+def load_snapshot(path: str | Path, space: IndoorSpace | None = None) -> Snapshot:
+    """Load a snapshot back into ready-to-query objects — zero rebuild.
+
+    Args:
+        path: snapshot file written by :func:`save_snapshot`.
+        space: optional venue the caller intends to query. When given,
+            its fingerprint must match the snapshot's (refusing stale or
+            mismatched snapshots) and the returned :class:`Snapshot`
+            references this exact instance; otherwise the venue embedded
+            in the snapshot is restored.
+
+    Raises:
+        SnapshotError: bad magic, unsupported format version, integrity
+            failure, unknown index kind, or venue-fingerprint mismatch.
+    """
+    p = Path(path)
+    header, payload = _read_checked(p)
+    if space is not None:
+        fp = venue_fingerprint(space)
+        if fp != header["fingerprint"]:
+            raise SnapshotError(
+                f"{p}: venue fingerprint mismatch — snapshot was built for "
+                f"{header['venue']!r} ({header['fingerprint'][:12]}…), caller "
+                f"supplied {space.name!r} ({fp[:12]}…); rebuild the snapshot"
+            )
+    body = json.loads(payload.decode("utf-8"))
+    if space is None:
+        space = space_from_dict(body["space"])
+    index = decode_index(header["kind"], space, body["index"])
+    if header.get("build_seconds") is not None:
+        # classes route this where it belongs (e.g. DistAw++ proxies it
+        # to its nested matrix via a property)
+        index.build_seconds = header["build_seconds"]
+    objects = (
+        objects_from_dict(body["objects"]) if body.get("objects") is not None else None
+    )
+    object_index = None
+    if body.get("object_index") is not None:
+        if not isinstance(index, IPTree):
+            raise SnapshotError(
+                f"{p}: snapshot has an object_index section but {header['kind']} "
+                "is not a tree index"
+            )
+        if objects is None:
+            raise SnapshotError(
+                f"{p}: snapshot has an object_index section but no objects "
+                "section — corrupted or hand-edited payload"
+            )
+        object_index = ObjectIndex.from_state(index, objects, body["object_index"])
+    return Snapshot(
+        info=_info_from_header(header, p),
+        space=space,
+        index=index,
+        objects=objects,
+        object_index=object_index,
+    )
+
+
+def verify_snapshot(
+    path: str | Path, space: IndoorSpace | None = None, deep: bool = False
+) -> SnapshotInfo:
+    """Check a snapshot's integrity; raise :class:`SnapshotError` if bad.
+
+    The shallow check validates magic, format version, payload length
+    and payload hash. ``deep=True`` additionally restores every section
+    and cross-checks the loaded index:
+
+    * the embedded venue re-fingerprints to the header's fingerprint,
+    * restored objects validate against the venue (and the restored
+      ``ObjectIndex``, when present, re-counts to the object set),
+    * a handful of seeded door-to-door distances match a fresh
+      :class:`~repro.baselines.oracle.DijkstraOracle` — a corrupted
+      matrix cannot hide behind a correct hash of corrupted bytes.
+    """
+    p = Path(path)
+    if not deep:
+        header, _ = _read_checked(p)
+        return _info_from_header(header, p)
+    snap = load_snapshot(p, space=space)
+    if venue_fingerprint(snap.space) != snap.info.fingerprint:
+        raise SnapshotError(f"{p}: embedded venue does not match its fingerprint")
+    if snap.objects is not None:
+        snap.objects.validate(snap.space)
+        if (
+            snap.object_index is not None
+            and snap.object_index.count(snap.index.root_id) != len(snap.objects)
+        ):
+            raise SnapshotError(
+                f"{p}: object index subtree counts disagree with the object set"
+            )
+    import random
+
+    from ..baselines.oracle import DijkstraOracle
+
+    d2d = getattr(snap.index, "d2d", None) or getattr(snap.index, "graph", None)
+    oracle = DijkstraOracle(snap.space, d2d)
+    rng = random.Random(0)
+    doors = range(snap.space.num_doors)
+    for _ in range(4):
+        a, b = rng.choice(doors), rng.choice(doors)
+        got = snap.index.shortest_distance(a, b)
+        want = oracle.shortest_distance(a, b)
+        if abs(got - want) > 1e-6:
+            raise SnapshotError(
+                f"{p}: loaded index answers diverge from the Dijkstra oracle "
+                f"(doors {a}->{b}: {got} != {want})"
+            )
+    return snap.info

@@ -118,3 +118,30 @@ class TestObjectSet:
 
     def test_iteration_and_indexing(self, fig1_objects):
         assert list(fig1_objects)[0] is fig1_objects[0]
+
+
+class TestObjectFileRoundTrip:
+    def test_save_load_objects_file(self, fig1_space, fig1_objects, tmp_path):
+        import pickle
+
+        from repro.model.io_json import load_objects, save_objects
+
+        objs = pickle.loads(pickle.dumps(fig1_objects))
+        objs.delete(2)
+        objs.move(0, objs[1].location)
+        path = tmp_path / "objects.json"
+        save_objects(objs, path)
+        clone = load_objects(path)
+        assert clone.capacity == objs.capacity
+        assert clone.version == objs.version
+        assert clone.live_ids() == objs.live_ids()
+        for oid in objs.live_ids():
+            assert clone[oid] == objs[oid]
+
+    def test_save_objects_deterministic_bytes(self, fig1_objects, tmp_path):
+        from repro.model.io_json import save_objects
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_objects(fig1_objects, a)
+        save_objects(fig1_objects, b)
+        assert a.read_bytes() == b.read_bytes()

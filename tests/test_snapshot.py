@@ -1,0 +1,474 @@
+"""Snapshot store: round-trips, integrity refusals, catalog, CLI, engine
+warm start, and the ObjectSet capacity/tombstone/version regression."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import IndoorPoint, ObjectIndex, UpdateOp, VIPTree, make_object_set
+from repro.baselines import DijkstraOracle
+from repro.datasets import build_mall, load_venue, random_objects
+from repro.engine import QueryEngine
+from repro.exceptions import SnapshotError
+from repro.model.io_json import canonical_dumps, objects_from_dict, objects_to_dict
+from repro.storage import (
+    SnapshotCatalog,
+    build_index,
+    known_kinds,
+    load_snapshot,
+    read_snapshot_info,
+    save_snapshot,
+    venue_fingerprint,
+    verify_snapshot,
+)
+from repro.storage.__main__ import main as storage_cli
+from repro.testing import sample_points
+
+
+# ----------------------------------------------------------------------
+# Round-trips
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_viptree_round_trip_identical_answers(self, fig1_space, fig1_viptree,
+                                                  fig1_objects, tmp_path):
+        index = ObjectIndex(fig1_viptree, fig1_objects)
+        path = tmp_path / "fig1.snap"
+        save_snapshot(path, fig1_viptree, index)
+        snap = load_snapshot(path)  # standalone: venue restored from the file
+        pts = sample_points(fig1_space, 8)
+        restored_pts = [IndoorPoint(p.partition_id, p.x, p.y) for p in pts]
+        for (a, b), (ra, rb) in zip(
+            zip(pts[:4], pts[4:]), zip(restored_pts[:4], restored_pts[4:])
+        ):
+            assert fig1_viptree.shortest_distance(a, b) == snap.index.shortest_distance(ra, rb)
+            p1 = fig1_viptree.shortest_path(a, b)
+            p2 = snap.index.shortest_path(ra, rb)
+            assert (p1.distance, p1.doors) == (p2.distance, p2.doors)
+        got = snap.index.knn(snap.object_index, restored_pts[0], 4)
+        want = fig1_viptree.knn(index, pts[0], 4)
+        assert [(n.distance, n.object_id) for n in got] == [
+            (n.distance, n.object_id) for n in want
+        ]
+
+    @pytest.mark.parametrize("kind", known_kinds())
+    def test_every_kind_round_trips(self, mall_space, tmp_path, kind):
+        index = build_index(kind, mall_space)
+        objects = random_objects(mall_space, 8, seed=3)
+        path = tmp_path / "idx.snap"
+        info = save_snapshot(path, index, objects)
+        assert info.kind == kind and info.num_objects == 8
+        snap = load_snapshot(path, space=mall_space)
+        oracle = DijkstraOracle(mall_space)
+        pts = sample_points(mall_space, 6, seed=9)
+        for a, b in zip(pts[:3], pts[3:]):
+            assert abs(
+                snap.index.shortest_distance(a, b) - oracle.shortest_distance(a, b)
+            ) < 1e-8
+
+    def test_tree_structure_identical(self, tower_space, tower_viptree, tmp_path):
+        path = tmp_path / "tower.snap"
+        save_snapshot(path, tower_viptree)
+        snap = load_snapshot(path, space=tower_space)
+        tree = snap.index
+        assert len(tree.nodes) == len(tower_viptree.nodes)
+        assert tree.root_id == tower_viptree.root_id
+        assert tree.vip_store == tower_viptree.vip_store
+        assert tree.superior_doors == tower_viptree.superior_doors
+        assert tree.leaf_nodes_of_door == tower_viptree.leaf_nodes_of_door
+        assert sorted(tree.d2d.edges()) == sorted(tower_viptree.d2d.edges())
+        for a, b in zip(tree.nodes, tower_viptree.nodes):
+            assert (a.level, a.parent, a.children, a.partitions, a.access_doors) == (
+                b.level, b.parent, b.children, b.partitions, b.access_doors
+            )
+            if b.table is not None:
+                assert a.table.row_doors == b.table.row_doors
+                assert a.table.col_doors == b.table.col_doors
+                for r in b.table.row_doors:
+                    for c in b.table.col_doors:
+                        assert a.table.distance(r, c) == b.table.distance(r, c)
+                        assert a.table.next_hop(r, c) == b.table.next_hop(r, c)
+
+    def test_object_index_round_trip_structurally_identical(self, fig1_viptree,
+                                                            fig1_space, tmp_path):
+        objects = random_objects(fig1_space, 12, seed=5)
+        index = ObjectIndex(fig1_viptree, objects)
+        path = tmp_path / "oi.snap"
+        save_snapshot(path, fig1_viptree, index)
+        snap = load_snapshot(path, space=fig1_space)
+        restored = snap.object_index
+        assert restored.leaf_objects == index.leaf_objects
+        assert restored.access_lists == index.access_lists
+        assert restored.node_counts == index.node_counts
+        assert restored._entries == index._entries
+        assert restored.updates == index.updates
+        # ... and identical to a from-scratch rebuild over the loaded set
+        rebuilt = ObjectIndex(snap.index, snap.objects)
+        assert restored.access_lists == rebuilt.access_lists
+        assert restored.node_counts == rebuilt.node_counts
+
+    def test_snapshot_hashes_deterministic_across_builds(self, tmp_path):
+        """Two independent builds of the same venue must produce the
+        same fingerprint and payload hash (wall-clock build time is the
+        only header field allowed to differ)."""
+        infos, payloads = [], []
+        for i in range(2):
+            space = build_mall("tiny", name="MC-tiny")
+            tree = VIPTree.build(space)
+            index = ObjectIndex(tree, random_objects(space, 10, seed=7))
+            p = tmp_path / f"b{i}.snap"
+            infos.append(save_snapshot(p, tree, index))
+            payloads.append(p.read_bytes().partition(b"\n")[2])
+        assert payloads[0] == payloads[1]
+        a, b = infos
+        assert a.fingerprint == b.fingerprint
+        assert a.payload_sha256 == b.payload_sha256
+        assert a.payload_bytes == b.payload_bytes
+
+    @pytest.mark.parametrize("kind", ["distmx", "distaw++", "gtree", "road"])
+    def test_baseline_hashes_deterministic_across_builds(self, mall_space,
+                                                         tmp_path, kind):
+        """Every registered codec keeps wall-clock build time out of the
+        hashed payload (DistAw++ nests a matrix — regression)."""
+        hashes = []
+        for i in range(2):
+            p = tmp_path / f"{i}.snap"
+            hashes.append(save_snapshot(p, build_index(kind, mall_space)).payload_sha256)
+        assert hashes[0] == hashes[1]
+
+    def test_repeated_save_of_same_index_byte_identical(self, mall_space, tmp_path):
+        tree = VIPTree.build(mall_space)
+        p1, p2 = tmp_path / "a.snap", tmp_path / "b.snap"
+        save_snapshot(p1, tree)
+        save_snapshot(p2, tree)
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_rejects_unregistered_index_class(self, mall_space, tmp_path):
+        class NotAnIndex:
+            index_name = "VIP-Tree"  # even a spoofed name must not pass
+            space = mall_space
+
+        with pytest.raises(SnapshotError, match="no snapshot codec"):
+            save_snapshot(tmp_path / "x.snap", NotAnIndex())
+
+
+# ----------------------------------------------------------------------
+# Integrity refusals
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def saved_snapshot(mall_space, tmp_path):
+    tree = VIPTree.build(mall_space)
+    index = ObjectIndex(tree, random_objects(mall_space, 6, seed=1))
+    path = tmp_path / "mall.snap"
+    save_snapshot(path, tree, index)
+    return path
+
+
+class TestRefusals:
+    def test_refuses_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.snap"
+        path.write_bytes(b'{"magic": "something-else"}\n{}')
+        with pytest.raises(SnapshotError, match="bad magic"):
+            load_snapshot(path)
+        path.write_bytes(b"not json at all\npayload")
+        with pytest.raises(SnapshotError, match="not a snapshot file"):
+            read_snapshot_info(path)
+
+    def test_refuses_future_format_version(self, saved_snapshot):
+        head, _, payload = saved_snapshot.read_bytes().partition(b"\n")
+        header = json.loads(head)
+        header["format"] = 999
+        saved_snapshot.write_bytes(
+            canonical_dumps(header).encode() + b"\n" + payload
+        )
+        with pytest.raises(SnapshotError, match="unsupported snapshot format"):
+            load_snapshot(saved_snapshot)
+
+    def test_refuses_header_with_missing_fields(self, saved_snapshot):
+        """Valid magic + format but absent fields must raise
+        SnapshotError (never KeyError) through every entry point."""
+        _, _, payload = saved_snapshot.read_bytes().partition(b"\n")
+        stub = {"magic": "repro-index-snapshot", "format": 1}
+        saved_snapshot.write_bytes(canonical_dumps(stub).encode() + b"\n" + payload)
+        with pytest.raises(SnapshotError, match="missing fields"):
+            read_snapshot_info(saved_snapshot)
+        with pytest.raises(SnapshotError, match="missing fields"):
+            load_snapshot(saved_snapshot)
+        # catalog listings skip it instead of crashing
+        catalog = SnapshotCatalog(saved_snapshot.parent)
+        assert catalog.entries() == []
+
+    def test_refuses_truncated_payload(self, saved_snapshot):
+        raw = saved_snapshot.read_bytes()
+        saved_snapshot.write_bytes(raw[:-40])
+        with pytest.raises(SnapshotError, match="truncated or corrupted"):
+            load_snapshot(saved_snapshot)
+
+    def test_refuses_corrupted_payload(self, saved_snapshot):
+        raw = bytearray(saved_snapshot.read_bytes())
+        raw[-10] ^= 0xFF
+        saved_snapshot.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError, match="hash mismatch"):
+            verify_snapshot(saved_snapshot)
+
+    def test_refuses_wrong_venue(self, saved_snapshot, campus_space):
+        with pytest.raises(SnapshotError, match="fingerprint mismatch"):
+            load_snapshot(saved_snapshot, space=campus_space)
+
+    def test_shallow_verify_and_info(self, saved_snapshot, mall_space):
+        info = verify_snapshot(saved_snapshot)
+        assert info.kind == "VIP-Tree"
+        assert info.venue == mall_space.name
+        assert info.fingerprint == venue_fingerprint(mall_space)
+        assert info.num_objects == 6 and info.has_object_index
+        assert read_snapshot_info(saved_snapshot) == info
+
+    def test_deep_verify_catches_consistent_corruption(self, saved_snapshot):
+        """A tampered payload with a *recomputed* hash passes the shallow
+        check; the deep oracle cross-check still refuses it."""
+        import hashlib
+
+        head, _, payload = saved_snapshot.read_bytes().partition(b"\n")
+        body = json.loads(payload)
+        # last pair is the root (largest nid): silently wrong subtree count
+        body["object_index"]["node_counts"][-1][1] += 5
+        new_payload = canonical_dumps(body).encode()
+        header = json.loads(head)
+        header["payload_sha256"] = hashlib.sha256(new_payload).hexdigest()
+        header["payload_bytes"] = len(new_payload)
+        saved_snapshot.write_bytes(
+            canonical_dumps(header).encode() + b"\n" + new_payload
+        )
+        verify_snapshot(saved_snapshot)  # shallow: hash is "right"
+        with pytest.raises(SnapshotError, match="subtree counts"):
+            verify_snapshot(saved_snapshot, deep=True)
+
+
+# ----------------------------------------------------------------------
+# ObjectSet persistence regression (capacity, tombstones, version)
+# ----------------------------------------------------------------------
+class TestObjectSetPersistence:
+    def test_capacity_tombstones_and_version_survive_snapshot(self, fig1_space,
+                                                              fig1_viptree, tmp_path):
+        objects = random_objects(fig1_space, 6, seed=2)
+        engine = QueryEngine(fig1_viptree, ObjectIndex(fig1_viptree, objects))
+        engine.delete_object(2)
+        engine.delete_object(5)  # trailing id: only `capacity` preserves it
+        path = tmp_path / "tomb.snap"
+        engine.save_snapshot(path)
+        loaded = QueryEngine.from_snapshot(path, space=fig1_space)
+        assert loaded.objects.capacity == 6
+        assert loaded.objects.version == objects.version
+        assert loaded.objects.live_ids() == [0, 1, 3, 4]
+        assert loaded.objects.get(2) is None and loaded.objects.get(5) is None
+        # a post-load insert must take a fresh id, not resurrect id 5
+        new_id = loaded.insert_object(objects[0].location)
+        assert new_id == 6
+
+    def test_io_json_objects_version_round_trip(self, fig1_space):
+        rooms = fig1_space.fixture_rooms
+        objects = make_object_set(
+            fig1_space, [IndoorPoint(rooms[0][0], 2.0, 1.5)]
+        )
+        objects.insert(IndoorPoint(rooms[0][1], 5.0, 1.5))
+        objects.delete(0)
+        clone = objects_from_dict(objects_to_dict(objects))
+        assert clone.version == objects.version == 2
+        assert clone.capacity == objects.capacity
+        assert clone.live_ids() == objects.live_ids()
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+class TestCatalog:
+    def test_save_load_has(self, mall_space, campus_space, tmp_path):
+        catalog = SnapshotCatalog(tmp_path / "cat")
+        mall_tree = VIPTree.build(mall_space)
+        campus_tree = VIPTree.build(campus_space)
+        p1 = Path(catalog.save(mall_tree).path)
+        p2 = Path(catalog.save(campus_tree).path)
+        assert p1 != p2 and p1.is_file() and p2.is_file()
+        # atomic publish leaves no temp files behind
+        assert not list((tmp_path / "cat").rglob("*.tmp"))
+        assert catalog.has(mall_space, "viptree")
+        assert not catalog.has(mall_space, "distmx")
+        snap = catalog.load(mall_space, "VIP-Tree")
+        assert snap.info.venue == mall_space.name
+        with pytest.raises(SnapshotError, match="no DistMx snapshot"):
+            catalog.load(mall_space, "distmx")
+
+    def test_same_name_different_geometry_no_collision(self, tmp_path):
+        a = build_mall("tiny", seed=1, name="MC")
+        b = build_mall("tiny", seed=2, name="MC")
+        catalog = SnapshotCatalog(tmp_path / "cat")
+        catalog.save(VIPTree.build(a))
+        assert not catalog.has(b, "viptree")  # keyed by fingerprint, not name
+        catalog.save(VIPTree.build(b))
+        assert catalog.has(a, "viptree") and catalog.has(b, "viptree")
+        assert len(catalog.entries()) == 2
+
+    def test_distaw_variants_get_distinct_slots(self, mall_space, tmp_path):
+        """DistAw and DistAw++ must not collide on one file, and a slot
+        must only ever serve the kind it was saved as."""
+        from repro.baselines import DistAware, DistAwPlusPlus
+
+        catalog = SnapshotCatalog(tmp_path / "cat")
+        assert catalog.path_for(mall_space, "distaw") != catalog.path_for(
+            mall_space, "distaw++"
+        )
+        catalog.save(DistAwPlusPlus(mall_space))
+        assert not catalog.has(mall_space, "distaw")
+        catalog.save(DistAware(mall_space))
+        assert catalog.load(mall_space, "distaw").info.kind == "DistAw"
+        assert catalog.load(mall_space, "distaw++").info.kind == "DistAw++"
+
+    def test_entries_skips_foreign_files(self, mall_space, tmp_path):
+        catalog = SnapshotCatalog(tmp_path / "cat")
+        catalog.save(VIPTree.build(mall_space))
+        (tmp_path / "cat" / "stray.snap").write_bytes(b"not a snapshot\n")
+        entries = catalog.entries()
+        assert [e.kind for e in entries] == ["VIP-Tree"]
+
+    def test_engine_for_accepts_object_index_on_cold_path(self, mall_space, tmp_path):
+        """An ObjectIndex built on some previous tree must be re-embedded
+        into the freshly built index, not crash the identity check."""
+        old_tree = VIPTree.build(mall_space)
+        objects = random_objects(mall_space, 7, seed=15)
+        old_index = ObjectIndex(old_tree, objects)
+        catalog = SnapshotCatalog(tmp_path / "cat")
+        engine = catalog.engine_for(mall_space, objects=old_index)
+        assert len(engine.objects) == 7
+        q = sample_points(mall_space, 1, seed=3)[0]
+        oracle = DijkstraOracle(mall_space)
+        got = [(round(n.distance, 8), n.object_id) for n in engine.knn(q, 3)]
+        assert got == [(round(d, 8), o) for d, o in oracle.knn(q, objects, 3)]
+        # the snapshot it saved carries the full embedding
+        assert catalog.load(mall_space, "viptree").object_index is not None
+
+    def test_load_or_build_then_engine_for(self, mall_space, tmp_path):
+        catalog = SnapshotCatalog(tmp_path / "cat")
+        objects = random_objects(mall_space, 5, seed=4)
+        snap, loaded = catalog.load_or_build(mall_space, "viptree", objects=objects)
+        assert not loaded  # cold build + save
+        snap2, loaded2 = catalog.load_or_build(mall_space, "viptree")
+        assert loaded2  # warm start
+        engine = catalog.engine_for(mall_space)
+        pts = sample_points(mall_space, 2, seed=11)
+        oracle = DijkstraOracle(mall_space)
+        assert abs(
+            engine.distance(pts[0], pts[1]) - oracle.shortest_distance(pts[0], pts[1])
+        ) < 1e-8
+        assert [n.object_id for n in engine.knn(pts[0], 3)] == [
+            oid for _, oid in oracle.knn(pts[0], snap2.objects, 3)
+        ]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCLI:
+    def test_build_ls_verify_load(self, tmp_path, capsys):
+        catalog = str(tmp_path / "cat")
+        assert storage_cli(["build", "--venue", "MC", "--profile", "tiny",
+                            "--objects", "5", "--catalog", catalog]) == 0
+        assert storage_cli(["ls", "--catalog", catalog]) == 0
+        out = capsys.readouterr().out
+        assert "VIP-Tree" in out and "MC" in out
+        assert storage_cli(["verify", "--catalog", catalog, "--deep"]) == 0
+        snap_file = next(Path(catalog).rglob("*.snap"))
+        assert storage_cli(["load", str(snap_file),
+                            "--venue", "MC", "--profile", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "ready to query" in out
+
+    def test_build_to_file_and_verify_failure(self, tmp_path, capsys):
+        out_file = tmp_path / "mc.snap"
+        assert storage_cli(["build", "--venue", "MC", "--profile", "tiny",
+                            "--index", "iptree", "--out", str(out_file)]) == 0
+        assert storage_cli(["verify", str(out_file)]) == 0
+        raw = bytearray(out_file.read_bytes())
+        raw[-5] ^= 0xFF
+        out_file.write_bytes(bytes(raw))
+        assert storage_cli(["verify", str(out_file)]) == 1
+        err = capsys.readouterr().err
+        assert "hash mismatch" in err
+
+    def test_verify_catalog_reports_corrupted_headers(self, tmp_path, capsys):
+        """A snapshot whose header is destroyed must FAIL catalog verify,
+        not be silently skipped (the CI integrity gate relies on this)."""
+        catalog = str(tmp_path / "cat")
+        storage_cli(["build", "--venue", "MC", "--profile", "tiny",
+                     "--catalog", catalog])
+        snap_file = next(Path(catalog).rglob("*.snap"))
+        snap_file.write_bytes(b"garbage header\npayload")
+        assert storage_cli(["verify", "--catalog", catalog]) == 1
+        assert "FAIL" in capsys.readouterr().err
+        # an empty catalog is an error too, not a silent pass
+        assert storage_cli(["verify", "--catalog", str(tmp_path / "empty")]) == 2
+
+    def test_build_skip_existing(self, tmp_path, capsys):
+        catalog = str(tmp_path / "cat")
+        args = ["build", "--venue", "MC", "--profile", "tiny", "--catalog", catalog]
+        assert storage_cli(args) == 0
+        snap_file = next(Path(catalog).rglob("*.snap"))
+        before = snap_file.stat().st_mtime_ns
+        assert storage_cli(args + ["--skip-existing"]) == 0
+        assert "kept existing" in capsys.readouterr().out
+        assert snap_file.stat().st_mtime_ns == before
+
+    def test_load_refuses_wrong_venue(self, tmp_path, capsys):
+        out_file = tmp_path / "mc.snap"
+        storage_cli(["build", "--venue", "MC", "--profile", "tiny",
+                     "--out", str(out_file)])
+        assert storage_cli(["load", str(out_file),
+                            "--venue", "CL", "--profile", "tiny"]) == 1
+        assert "fingerprint mismatch" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Engine warm start
+# ----------------------------------------------------------------------
+class TestEngineWarmStart:
+    def test_loaded_engine_serves_updates_and_queries(self, mall_space, tmp_path):
+        tree = VIPTree.build(mall_space)
+        objects = random_objects(mall_space, 10, seed=6)
+        fresh = QueryEngine(tree, ObjectIndex(tree, objects))
+        path = tmp_path / "mall.snap"
+        fresh.save_snapshot(path)
+        loaded = QueryEngine.from_snapshot(path, space=mall_space)
+        assert loaded.stats().queries == 0 and loaded.stats().updates == 0
+
+        pts = sample_points(mall_space, 4, seed=8)
+        ops = [
+            UpdateOp("insert", location=pts[0], label="new"),
+            UpdateOp("move", object_id=3, location=pts[1]),
+            UpdateOp("delete", object_id=1),
+        ]
+        assert fresh.batch_update(ops) == loaded.batch_update(ops)
+        for q in pts:
+            assert [(n.distance, n.object_id) for n in fresh.knn(q, 5)] == [
+                (n.distance, n.object_id) for n in loaded.knn(q, 5)
+            ]
+            assert fresh.distance(q, pts[0]) == loaded.distance(q, pts[0])
+        oracle = DijkstraOracle(mall_space, tree.d2d)
+        got = [(round(n.distance, 8), n.object_id) for n in loaded.knn(pts[2], 4)]
+        want = [(round(d, 8), oid) for d, oid in oracle.knn(pts[2], loaded.objects, 4)]
+        assert got == want
+
+    def test_baseline_engine_snapshot(self, mall_space, tmp_path):
+        from repro.baselines import DistanceMatrix
+
+        mx = DistanceMatrix(mall_space)
+        objects = random_objects(mall_space, 6, seed=10)
+        engine = QueryEngine(mx, objects)
+        path = tmp_path / "mx.snap"
+        info = engine.save_snapshot(path)
+        assert info.kind == "DistMx" and not info.has_object_index
+        loaded = QueryEngine.from_snapshot(path, space=mall_space)
+        pts = sample_points(mall_space, 4, seed=12)
+        for a, b in zip(pts[:2], pts[2:]):
+            assert engine.distance(a, b) == loaded.distance(a, b)
+        assert [(n.distance, n.object_id) for n in engine.knn(pts[0], 3)] == [
+            (n.distance, n.object_id) for n in loaded.knn(pts[0], 3)
+        ]
