@@ -14,6 +14,9 @@ Public API highlights:
 * :mod:`repro.storage` — snapshot store: persist built indexes to
   versioned, integrity-checked files and warm-start engines without
   rebuild (``QueryEngine.from_snapshot``, ``SnapshotCatalog``).
+* :mod:`repro.serving` — concurrent multi-venue serving: thread-safe
+  engines behind a ``VenueRouter`` engine pool and a worker-thread
+  ``ServingFrontend`` with bounded-queue backpressure.
 * :mod:`repro.datasets` — synthetic venue generators (MC/Men/CL families)
   and query workloads.
 

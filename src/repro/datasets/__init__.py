@@ -3,6 +3,7 @@
 from .campus import build_campus
 from .mall import build_mall
 from .moving import moving_objects
+from .multi_venue import multi_venue_streams
 from .office import build_office
 from .profiles import (
     CAMPUS_PROFILES,
@@ -45,6 +46,7 @@ __all__ = [
     "load_venue",
     "mixed_queries",
     "moving_objects",
+    "multi_venue_streams",
     "random_objects",
     "random_pairs",
     "random_point",

@@ -1,0 +1,80 @@
+"""Multi-venue workload streams for the serving layer.
+
+One serving process answers for many venues at once (the paper's
+motivating deployments — airport + mall + campus behind one service).
+:func:`multi_venue_streams` produces the matching workload: an
+independent, deterministic mixed update+query stream per venue, shaped
+like :func:`~repro.datasets.moving.moving_objects` output, ready for
+:func:`repro.serving.replay.concurrent_replay` /
+:func:`~repro.serving.replay.sequential_replay`.
+
+Streams are independent across venues on purpose: venues share no
+state in the serving layer, so the interesting concurrency (and the
+equivalence proof of concurrent vs sequential replay) lives *within*
+each venue's update barriers, while cross-venue parallelism is free.
+"""
+
+from __future__ import annotations
+
+from ..model.indoor_space import IndoorSpace
+from ..model.objects import ObjectSet
+from .moving import moving_objects
+
+#: offset between per-venue seeds — venues get disjoint, reproducible
+#: random streams for any sane venue count
+_SEED_STRIDE = 10_007
+
+
+def multi_venue_streams(
+    venues: list[tuple[IndoorSpace, ObjectSet]],
+    count: int,
+    *,
+    update_ratio: float = 0.25,
+    churn: float = 0.0,
+    mix: dict[str, float] | None = None,
+    seed: int = 83,
+    pool: int | None = 32,
+    k: int = 5,
+    radius: float | None = None,
+) -> list[list]:
+    """One interleaved update+query stream per venue.
+
+    Args:
+        venues: ``(space, objects)`` pairs — the venue and the object
+            population its stream starts from (read, never mutated; the
+            stream assumes it is applied, in order, to exactly that
+            set).
+        count: events per venue (total work is ``len(venues) * count``).
+        update_ratio: updates per query, as in
+            :func:`~repro.datasets.moving.moving_objects` —
+            ``0.25`` is the read-heavy serving shape, ``0`` queries
+            only.
+        churn / mix / pool / k / radius: forwarded per venue (see
+            :func:`~repro.datasets.moving.moving_objects`).
+        seed: master seed; venue ``i`` uses ``seed + i * 10007``, so
+            streams are deterministic and pairwise independent.
+
+    Returns:
+        ``streams`` with ``streams[i]`` the event list for
+        ``venues[i]`` — zip with router venue ids to build the
+        ``{venue_id: stream}`` mapping the replay drivers take.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    streams: list[list] = []
+    for i, (space, objects) in enumerate(venues):
+        streams.append(
+            moving_objects(
+                space,
+                objects,
+                count,
+                update_ratio=update_ratio,
+                churn=churn,
+                mix=mix,
+                seed=seed + i * _SEED_STRIDE,
+                pool=pool,
+                k=k,
+                radius=radius,
+            )
+        )
+    return streams

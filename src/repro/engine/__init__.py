@@ -6,6 +6,10 @@
   (``update``/``batch_update``) with targeted kNN/range cache
   invalidation,
 * :class:`LRUCache` — the bounded cache primitive,
+* :class:`RWLock` — the readers-writer lock behind
+  ``QueryEngine(thread_safe=True)`` (queries share the read side,
+  object updates take the write side; see :mod:`repro.serving` for the
+  multi-venue serving layer built on that contract),
 * :func:`replay` / :class:`WorkloadReport` — workload throughput driver
   for static query mixes
   (:func:`repro.datasets.workloads.mixed_queries`) and moving-object
@@ -14,12 +18,14 @@
 
 from .cache import LRUCache
 from .engine import EngineStats, QueryEngine
+from .locking import RWLock
 from .workload import WorkloadReport, replay
 
 __all__ = [
     "EngineStats",
     "LRUCache",
     "QueryEngine",
+    "RWLock",
     "WorkloadReport",
     "replay",
 ]

@@ -28,10 +28,39 @@ Two cache layers (both optional via ``cache=False``):
 Caching never changes answers — batch results are element-wise identical
 to the single-query APIs, which in turn match the index called directly.
 Cached result objects are shared; treat them as immutable.
+
+Thread safety
+-------------
+By default an engine is **single-threaded** (zero locking overhead).
+Constructed with ``thread_safe=True`` it becomes safe for concurrent
+readers with exclusive writers — the contract :mod:`repro.serving`
+builds on:
+
+* ``distance``/``path``/``knn``/``range_query`` (and the batch
+  variants) may be called from any number of threads concurrently,
+* ``update``/``batch_update`` (and the insert/delete/move
+  conveniences) take the **write side** of an internal
+  :class:`~repro.engine.locking.RWLock`, excluding every in-flight
+  kNN/range query while the leaf-attached object index mutates
+  (distance/path queries never read object state and are not blocked),
+* all caches and counters are guarded by one internal mutex, so
+  ``stats()`` returns a **race-free, consistent snapshot** and counter
+  sums are exact once threads are quiescent,
+* each serving thread gets its **own** :class:`QueryContext`
+  (endpoint/climb/search caches are per-thread; ``stats()`` aggregates
+  their counters), so the core query algorithms never share mutable
+  search state across threads.
+
+The only operation that remains outside the contract is mutating the
+:class:`ObjectSet` *behind the engine's back* while queries are in
+flight — route concurrent updates through the engine's update
+endpoints (the lazy version check still catches out-of-band mutation,
+but only between queries, exactly as in single-threaded mode).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, fields
 
 from ..baselines.distmx import DistanceMatrix, DistMxObjects
@@ -44,6 +73,7 @@ from ..exceptions import QueryError
 from ..model.entities import IndoorPoint
 from ..model.objects import UpdateOp
 from .cache import LRUCache
+from .locking import NULL_LOCK, NULL_RWLOCK, RWLock
 
 _MISSING = object()
 
@@ -177,6 +207,11 @@ class QueryEngine:
             endpoint / climb / search-state caches, so a long-lived
             engine's memory stays bounded under endless distinct
             endpoints. ``0`` means unbounded.
+        thread_safe: enable the concurrent-reader contract described in
+            the module docstring (an RWLock serializing updates against
+            kNN/range queries, a mutex guarding caches/counters, and
+            per-thread query contexts). ``False`` — the default — keeps
+            the single-threaded fast path entirely lock-free.
     """
 
     def __init__(
@@ -188,12 +223,33 @@ class QueryEngine:
         distance_cache_size: int = 65536,
         result_cache_size: int = 8192,
         context_cache_size: int = 16384,
+        thread_safe: bool = False,
     ) -> None:
         self.index = index
         self._is_tree = isinstance(index, IPTree)
         self.cache_enabled = bool(cache)
         self._context_cache_size = context_cache_size
-        self.ctx = self._new_ctx() if (self.cache_enabled and self._is_tree) else None
+        self.thread_safe = bool(thread_safe)
+        self._ctx_enabled = self.cache_enabled and self._is_tree
+        if self.thread_safe:
+            #: lock order (outermost first): RWLock -> mutex. The mutex
+            #: is never held while acquiring the RWLock.
+            self._lock = RWLock()
+            self._mutex: threading.Lock = threading.Lock()
+            self._ctx = None
+            self._ctx_local = threading.local()
+            #: thread ident -> (thread, context); dead threads' entries
+            #: are pruned (counters folded) on the next registration,
+            #: so thread churn cannot grow the registry without bound
+            self._ctx_registry: dict[int, tuple[threading.Thread, QueryContext]] = {}
+            #: counters of retired per-thread contexts (endpoint h/m,
+            #: climb h/m, search h/m) — folded into stats()
+            self._ctx_base = [0, 0, 0, 0, 0, 0]
+            self._ctx_generation = 0
+        else:
+            self._lock = NULL_RWLOCK
+            self._mutex = NULL_LOCK
+            self._ctx = self._new_ctx() if self._ctx_enabled else None
         if self.cache_enabled:
             self._dist_cache = LRUCache(distance_cache_size)
             self._path_cache = LRUCache(result_cache_size)
@@ -230,6 +286,69 @@ class QueryEngine:
         #: object-set version the kNN/range caches were last valid for
         self._objects_version = self.objects.version if self.objects is not None else 0
 
+    @property
+    def lock(self):
+        """The engine's RWLock (a no-op stand-in when not thread-safe).
+
+        Embedders serializing external work against updates — e.g. the
+        serving router's write-back, which snapshots the live object
+        index — hold ``engine.lock.read()`` around it: updates are
+        excluded, queries are not. Never acquire it around calls back
+        into this engine's update methods (the write side is not
+        reentrant).
+        """
+        return self._lock
+
+    # ------------------------------------------------------------------
+    # Query context (single shared instance, or one per serving thread)
+    # ------------------------------------------------------------------
+    @property
+    def ctx(self) -> QueryContext | None:
+        """The calling thread's :class:`QueryContext` (or ``None``).
+
+        Single-threaded engines share one long-lived context;
+        ``thread_safe=True`` engines lazily create **one context per
+        calling thread** (tree searches never share mutable state
+        across threads). ``None`` for baselines and ``cache=False``.
+        """
+        if not self.thread_safe:
+            return self._ctx
+        if not self._ctx_enabled:
+            return None
+        local = self._ctx_local
+        if getattr(local, "generation", -1) != self._ctx_generation:
+            ctx = self._new_ctx()
+            with self._mutex:
+                # Read the generation under the mutex so a concurrent
+                # clear_caches() either sweeps this context or leaves it
+                # registered for the new generation — never both.
+                local.generation = self._ctx_generation
+                self._prune_dead_contexts_locked()
+                self._ctx_registry[threading.get_ident()] = (
+                    threading.current_thread(), ctx,
+                )
+            local.ctx = ctx
+        return local.ctx
+
+    def _fold_ctx_locked(self, ctx: QueryContext) -> None:
+        base = self._ctx_base
+        base[0] += ctx.endpoint_hits
+        base[1] += ctx.endpoint_misses
+        base[2] += ctx.climb_hits
+        base[3] += ctx.climb_misses
+        base[4] += ctx.search_hits
+        base[5] += ctx.search_misses
+
+    def _prune_dead_contexts_locked(self) -> None:
+        """Retire contexts of exited threads (fold counters, free their
+        caches). Runs once per *new* thread registration, so the
+        registry size tracks live threads, not threads ever seen."""
+        dead = [ident for ident, (thread, _) in self._ctx_registry.items()
+                if not thread.is_alive()]
+        for ident in dead:
+            _, ctx = self._ctx_registry.pop(ident)
+            self._fold_ctx_locked(ctx)
+
     # ------------------------------------------------------------------
     # Snapshots (persistence, :mod:`repro.storage`)
     # ------------------------------------------------------------------
@@ -262,50 +381,85 @@ class QueryEngine:
         state and are not persisted; a reloaded engine starts cold on
         caches but warm on everything expensive. Returns the written
         header (:class:`~repro.storage.snapshot.SnapshotInfo`).
+
+        Thread safety: serialization runs under the engine's read
+        lock, so the written state is point-in-time consistent —
+        concurrent updates wait, concurrent queries do not.
         """
         from ..storage.snapshot import save_snapshot
 
-        objects = self.object_index if self.object_index is not None else self.objects
-        return save_snapshot(path, self.index, objects)
+        with self._lock.read():
+            objects = self.object_index if self.object_index is not None else self.objects
+            return save_snapshot(path, self.index, objects)
 
     # ------------------------------------------------------------------
     # Single-query API
     # ------------------------------------------------------------------
     def distance(self, source, target) -> float:
-        """Shortest indoor distance between two endpoints."""
+        """Shortest indoor distance between two endpoints.
+
+        Thread safety (``thread_safe=True``): callable from any thread
+        concurrently; object-independent, so it is never blocked by
+        updates."""
         return self._distance(source, target, self.ctx)
 
     def path(self, source, target) -> PathResult:
         """Shortest path; baselines' ``(distance, doors)`` tuples are
-        normalized into :class:`PathResult`."""
+        normalized into :class:`PathResult`.
+
+        Thread safety: as :meth:`distance` — concurrent-safe, never
+        blocked by updates."""
         return self._path(source, target, self.ctx)
 
     def knn(self, query, k: int) -> list[Neighbor]:
-        """The k nearest objects to ``query``."""
+        """The k nearest objects to ``query``.
+
+        Thread safety: concurrent-safe; takes the read lock, so it
+        observes every update entirely or not at all."""
         return self._knn(query, k, self.ctx)
 
     def range_query(self, query, radius: float) -> list[Neighbor]:
-        """All objects within ``radius`` of ``query``."""
+        """All objects within ``radius`` of ``query``.
+
+        Thread safety: concurrent-safe; takes the read lock, so it
+        observes every update entirely or not at all."""
         return self._range(query, radius, self.ctx)
 
     # ------------------------------------------------------------------
     # Batch API — amortizes endpoint resolution and tree climbs across
     # the request list (a per-batch context is used even when the
-    # engine-level caches are disabled).
+    # engine-level caches are disabled). Thread safety: each item
+    # acquires the locks independently, so a concurrent update may land
+    # between two items of a batch — exactly the semantics of the same
+    # requests arriving back-to-back on one connection.
     # ------------------------------------------------------------------
     def batch_distance(self, pairs) -> list[float]:
+        """Distances for a list of ``(source, target)`` pairs.
+
+        Thread safety: concurrent-safe; never blocked by updates."""
         ctx = self._batch_ctx()
         return [self._distance(s, t, ctx) for s, t in pairs]
 
     def batch_path(self, pairs) -> list[PathResult]:
+        """Paths for a list of ``(source, target)`` pairs.
+
+        Thread safety: concurrent-safe; never blocked by updates."""
         ctx = self._batch_ctx()
         return [self._path(s, t, ctx) for s, t in pairs]
 
     def batch_knn(self, queries, k: int) -> list[list[Neighbor]]:
+        """kNN for each query point.
+
+        Thread safety: concurrent-safe; each item takes the read lock
+        independently, so updates may land between items (never within
+        one)."""
         ctx = self._batch_ctx()
         return [self._knn(q, k, ctx) for q in queries]
 
     def batch_range(self, queries, radius: float) -> list[list[Neighbor]]:
+        """Range results for each query point.
+
+        Thread safety: as :meth:`batch_knn`."""
         ctx = self._batch_ctx()
         return [self._range(q, radius, ctx) for q in queries]
 
@@ -315,6 +469,8 @@ class QueryEngine:
     # distance/path caches and the query context never depend on the
     # object set and survive every update.
     # ------------------------------------------------------------------
+    # Each convenience delegates to :meth:`update` and inherits its
+    # thread-safety guarantee (exclusive write lock per op).
     def insert_object(self, location: IndoorPoint, label: str = "", category: str = "") -> int:
         """Add an object at ``location``; returns its new id."""
         return self.update(UpdateOp("insert", location=location, label=label, category=category))
@@ -334,10 +490,16 @@ class QueryEngine:
         lists, sorted access lists and subtree counts, paper §3.4);
         baseline engines mutate the object set and re-attach it. Either
         way the kNN/range result caches are invalidated once.
+
+        Thread safety: takes the engine's write lock — no kNN/range
+        query observes a half-applied update, and no update runs while
+        such a query reads the object index.
         """
-        result = self._apply_update(op)
-        self._updates += 1
-        self._invalidate_object_caches()
+        with self._lock.write():
+            result = self._apply_update(op)
+            with self._mutex:
+                self._updates += 1
+                self._invalidate_object_caches_locked()
         return result
 
     def batch_update(self, ops) -> list:
@@ -346,11 +508,17 @@ class QueryEngine:
         Results are element-wise identical to calling :meth:`update` per
         op; batching only amortizes the cache flush and (for baselines)
         the re-attachment of the object set.
+
+        Thread safety: the whole batch runs under the write lock —
+        concurrent queries see the object population either before the
+        batch or after it, never in between.
         """
-        results = [self._apply_update(op) for op in ops]
-        self._updates += len(results)
-        if results:
-            self._invalidate_object_caches()
+        with self._lock.write():
+            results = [self._apply_update(op) for op in ops]
+            with self._mutex:
+                self._updates += len(results)
+                if results:
+                    self._invalidate_object_caches_locked()
         return results
 
     def _apply_update(self, op: UpdateOp):
@@ -360,9 +528,10 @@ class QueryEngine:
             return self.object_index.apply(op)
         return self.objects.apply(op)
 
-    def _invalidate_object_caches(self) -> None:
+    def _invalidate_object_caches_locked(self) -> None:
         """Flush kNN/range caches and re-wire baseline object structures.
 
+        Caller holds the mutex (trivially true single-threaded).
         Counters are untouched — they are lifetime totals; only the
         cached entries (and the engine's notion of the current object
         version) change.
@@ -381,8 +550,13 @@ class QueryEngine:
         """Lazily catch object mutations made behind the engine's back
         (directly on the ObjectSet/ObjectIndex) before serving a
         cached object-dependent result."""
-        if self.objects is not None and self.objects.version != self._objects_version:
-            self._invalidate_object_caches()
+        if self.objects is None or self.objects.version == self._objects_version:
+            return
+        with self._mutex:
+            # double-checked so concurrent readers racing on the same
+            # stale version produce exactly one invalidation event
+            if self.objects.version != self._objects_version:
+                self._invalidate_object_caches_locked()
 
     def _new_ctx(self) -> QueryContext:
         return QueryContext(
@@ -403,16 +577,22 @@ class QueryEngine:
     # Internals
     # ------------------------------------------------------------------
     def _distance(self, source, target, ctx) -> float:
-        self._counts["distance"] += 1
+        # Distance queries never read object state, so they skip the
+        # RWLock entirely — only the cache/counter mutex is taken.
         cache = self._dist_cache
         if cache is None:
+            with self._mutex:
+                self._counts["distance"] += 1
             return self._raw_distance(source, target, ctx)
         key = _sym_key(endpoint_key(source), endpoint_key(target))
-        hit = cache.get(key, _MISSING)
+        with self._mutex:
+            self._counts["distance"] += 1
+            hit = cache.get(key, _MISSING)
         if hit is not _MISSING:
             return hit
         d = self._raw_distance(source, target, ctx)
-        cache[key] = d
+        with self._mutex:
+            cache[key] = d
         return d
 
     def _raw_distance(self, source, target, ctx) -> float:
@@ -421,16 +601,21 @@ class QueryEngine:
         return self.index.shortest_distance(source, target)
 
     def _path(self, source, target, ctx) -> PathResult:
-        self._counts["path"] += 1
+        # Like _distance: object-independent, no RWLock needed.
         cache = self._path_cache
         if cache is None:
+            with self._mutex:
+                self._counts["path"] += 1
             return self._raw_path(source, target, ctx)
         key = (endpoint_key(source), endpoint_key(target))
-        hit = cache.get(key, _MISSING)
+        with self._mutex:
+            self._counts["path"] += 1
+            hit = cache.get(key, _MISSING)
         if hit is not _MISSING:
             return hit
         res = self._raw_path(source, target, ctx)
-        cache[key] = res
+        with self._mutex:
+            cache[key] = res
         return res
 
     def _raw_path(self, source, target, ctx) -> PathResult:
@@ -446,18 +631,26 @@ class QueryEngine:
         return PathResult(dist, list(doors))
 
     def _knn(self, query, k: int, ctx) -> list[Neighbor]:
-        self._counts["knn"] += 1
-        self._check_object_version()
-        cache = self._knn_cache
-        if cache is None:
-            return self._raw_knn(query, k, ctx)
-        key = (endpoint_key(query), k)
-        hit = cache.get(key, _MISSING)
-        if hit is not _MISSING:
-            return list(hit)
-        res = self._raw_knn(query, k, ctx)
-        cache[key] = tuple(res)
-        return res
+        # Object-dependent: the whole query (version check, cache
+        # consultation, tree search over the object index) runs under
+        # the read lock so no update mutates the embedding mid-search.
+        with self._lock.read():
+            self._check_object_version()
+            cache = self._knn_cache
+            if cache is None:
+                with self._mutex:
+                    self._counts["knn"] += 1
+                return self._raw_knn(query, k, ctx)
+            key = (endpoint_key(query), k)
+            with self._mutex:
+                self._counts["knn"] += 1
+                hit = cache.get(key, _MISSING)
+            if hit is not _MISSING:
+                return list(hit)
+            res = self._raw_knn(query, k, ctx)
+            with self._mutex:
+                cache[key] = tuple(res)
+            return res
 
     def _raw_knn(self, query, k: int, ctx) -> list[Neighbor]:
         index = self.index
@@ -478,18 +671,24 @@ class QueryEngine:
         return [Neighbor(object_id=oid, distance=d) for d, oid in ranked]
 
     def _range(self, query, radius: float, ctx) -> list[Neighbor]:
-        self._counts["range"] += 1
-        self._check_object_version()
-        cache = self._range_cache
-        if cache is None:
-            return self._raw_range(query, radius, ctx)
-        key = (endpoint_key(query), radius)
-        hit = cache.get(key, _MISSING)
-        if hit is not _MISSING:
-            return list(hit)
-        res = self._raw_range(query, radius, ctx)
-        cache[key] = tuple(res)
-        return res
+        # Object-dependent: runs under the read lock, like _knn.
+        with self._lock.read():
+            self._check_object_version()
+            cache = self._range_cache
+            if cache is None:
+                with self._mutex:
+                    self._counts["range"] += 1
+                return self._raw_range(query, radius, ctx)
+            key = (endpoint_key(query), radius)
+            with self._mutex:
+                self._counts["range"] += 1
+                hit = cache.get(key, _MISSING)
+            if hit is not _MISSING:
+                return list(hit)
+            res = self._raw_range(query, radius, ctx)
+            with self._mutex:
+                cache[key] = tuple(res)
+            return res
 
     def _raw_range(self, query, radius: float, ctx) -> list[Neighbor]:
         index = self.index
@@ -519,47 +718,78 @@ class QueryEngine:
         later one. Every field is a lifetime total: neither
         :meth:`clear_caches` nor update invalidation resets any counter;
         they only drop cached entries.
+
+        Thread safety: the snapshot is taken under the engine mutex, so
+        it is internally consistent even while other threads query and
+        update; once those threads are quiescent the counters sum
+        exactly (per-thread context counters are aggregated).
         """
-        s = EngineStats(
-            distance_queries=self._counts["distance"],
-            path_queries=self._counts["path"],
-            knn_queries=self._counts["knn"],
-            range_queries=self._counts["range"],
-            updates=self._updates,
-            invalidations=self._invalidations,
-        )
-        if self._dist_cache is not None:
-            s.distance_hits = self._dist_cache.hits
-            s.distance_misses = self._dist_cache.misses
-            s.path_hits = self._path_cache.hits
-            s.path_misses = self._path_cache.misses
-            s.knn_hits = self._knn_cache.hits
-            s.knn_misses = self._knn_cache.misses
-            s.range_hits = self._range_cache.hits
-            s.range_misses = self._range_cache.misses
-        if self.ctx is not None:
-            s.endpoint_hits = self.ctx.endpoint_hits
-            s.endpoint_misses = self.ctx.endpoint_misses
-            s.climb_hits = self.ctx.climb_hits
-            s.climb_misses = self.ctx.climb_misses
-            s.search_hits = self.ctx.search_hits
-            s.search_misses = self.ctx.search_misses
+        with self._mutex:
+            s = EngineStats(
+                distance_queries=self._counts["distance"],
+                path_queries=self._counts["path"],
+                knn_queries=self._counts["knn"],
+                range_queries=self._counts["range"],
+                updates=self._updates,
+                invalidations=self._invalidations,
+            )
+            if self._dist_cache is not None:
+                s.distance_hits = self._dist_cache.hits
+                s.distance_misses = self._dist_cache.misses
+                s.path_hits = self._path_cache.hits
+                s.path_misses = self._path_cache.misses
+                s.knn_hits = self._knn_cache.hits
+                s.knn_misses = self._knn_cache.misses
+                s.range_hits = self._range_cache.hits
+                s.range_misses = self._range_cache.misses
+            if self.thread_safe:
+                if self._ctx_enabled:
+                    totals = list(self._ctx_base)
+                    for _, ctx in self._ctx_registry.values():
+                        totals[0] += ctx.endpoint_hits
+                        totals[1] += ctx.endpoint_misses
+                        totals[2] += ctx.climb_hits
+                        totals[3] += ctx.climb_misses
+                        totals[4] += ctx.search_hits
+                        totals[5] += ctx.search_misses
+                    (s.endpoint_hits, s.endpoint_misses, s.climb_hits,
+                     s.climb_misses, s.search_hits, s.search_misses) = totals
+            elif self._ctx is not None:
+                s.endpoint_hits = self._ctx.endpoint_hits
+                s.endpoint_misses = self._ctx.endpoint_misses
+                s.climb_hits = self._ctx.climb_hits
+                s.climb_misses = self._ctx.climb_misses
+                s.search_hits = self._ctx.search_hits
+                s.search_misses = self._ctx.search_misses
         return s
 
     def clear_caches(self) -> None:
-        """Drop cached state (counters keep their lifetime totals)."""
-        if self.ctx is not None:
-            fresh = self._new_ctx()
-            fresh.endpoint_hits = self.ctx.endpoint_hits
-            fresh.endpoint_misses = self.ctx.endpoint_misses
-            fresh.climb_hits = self.ctx.climb_hits
-            fresh.climb_misses = self.ctx.climb_misses
-            fresh.search_hits = self.ctx.search_hits
-            fresh.search_misses = self.ctx.search_misses
-            self.ctx = fresh
-        for cache in (self._dist_cache, self._path_cache, self._knn_cache, self._range_cache):
-            if cache is not None:
-                cache.clear()
+        """Drop cached state (counters keep their lifetime totals).
+
+        Thread safety: safe to call concurrently with queries; a
+        thread-safe engine retires every per-thread context (folding
+        its counters into the aggregate) and each serving thread
+        transparently gets a fresh one on its next query.
+        """
+        with self._mutex:
+            if self.thread_safe:
+                if self._ctx_enabled:
+                    for _, ctx in self._ctx_registry.values():
+                        self._fold_ctx_locked(ctx)
+                    self._ctx_registry.clear()
+                    self._ctx_generation += 1
+            elif self._ctx is not None:
+                fresh = self._new_ctx()
+                fresh.endpoint_hits = self._ctx.endpoint_hits
+                fresh.endpoint_misses = self._ctx.endpoint_misses
+                fresh.climb_hits = self._ctx.climb_hits
+                fresh.climb_misses = self._ctx.climb_misses
+                fresh.search_hits = self._ctx.search_hits
+                fresh.search_misses = self._ctx.search_misses
+                self._ctx = fresh
+            for cache in (self._dist_cache, self._path_cache, self._knn_cache, self._range_cache):
+                if cache is not None:
+                    cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.index, "index_name", type(self.index).__name__)

@@ -1,0 +1,142 @@
+"""Locking primitives for concurrent query serving.
+
+:class:`RWLock` is a classic readers-writer lock with **writer
+preference**: any number of readers may hold the lock concurrently, a
+writer waits until every reader has left, and once a writer is waiting
+no *new* reader may enter (so a steady query stream cannot starve
+updates). :class:`QueryEngine` uses it in ``thread_safe=True`` mode —
+object-dependent queries (kNN/range) take the read side, object updates
+take the write side — and :mod:`repro.serving` builds its multi-venue
+serving layer on top of such engines.
+
+:data:`NULL_RWLOCK` / :data:`NULL_LOCK` are shared no-op stand-ins with
+the same context-manager surface, so single-threaded engines pay no
+locking cost and no branching at the call sites.
+
+Lock ordering (see ``docs/serving.md`` for the system-wide rules): an
+``RWLock`` is always the *outermost* lock — code holding any plain
+mutex must never try to acquire an ``RWLock``. The read side is **not
+reentrant**: acquiring it twice from one thread can deadlock once a
+writer queues between the two acquisitions.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class _NullContext:
+    """A reusable no-op context manager (single-thread fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+class NullRWLock:
+    """No-op :class:`RWLock` stand-in for single-threaded engines."""
+
+    __slots__ = ()
+    _ctx = _NullContext()
+
+    def read(self) -> _NullContext:
+        return self._ctx
+
+    def write(self) -> _NullContext:
+        return self._ctx
+
+
+#: shared no-op instances — immutable, safe to share across engines
+NULL_LOCK = _NullContext()
+NULL_RWLOCK = NullRWLock()
+
+
+class RWLock:
+    """A readers-writer lock with writer preference.
+
+    * :meth:`read` — shared access: many readers at once, blocks while
+      a writer holds the lock **or is waiting** for it (writer
+      preference keeps a continuous reader stream from starving
+      writers).
+    * :meth:`write` — exclusive access: blocks until every reader and
+      writer has left; at most one writer runs at a time.
+
+    Both return context managers::
+
+        lock = RWLock()
+        with lock.read():
+            ...  # concurrent with other readers
+        with lock.write():
+            ...  # exclusive
+
+    The lock is not reentrant on either side. All state lives behind a
+    single :class:`threading.Condition`, so acquisition/release are
+    each one condition round-trip (microseconds — far below the cost of
+    the tree searches it guards).
+    """
+
+    __slots__ = ("_cond", "_readers", "_writer_active", "_writers_waiting")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read(self):
+        """Shared (reader) access as a context manager."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """Exclusive (writer) access as a context manager."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RWLock(readers={self._readers}, writer={self._writer_active}, "
+            f"waiting={self._writers_waiting})"
+        )

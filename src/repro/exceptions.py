@@ -36,6 +36,15 @@ class ConstructionError(ReproError):
     """Index construction failed (e.g. invalid minimum degree)."""
 
 
+class ServingError(ReproError):
+    """The serving layer rejected or could not dispatch a request.
+
+    Raised by :mod:`repro.serving` for unknown venue ids, malformed
+    requests, submissions to a stopped/draining frontend, and
+    backpressure timeouts (the bounded request queue stayed full).
+    """
+
+
 class SnapshotError(ReproError):
     """An index snapshot cannot be written, read or trusted.
 

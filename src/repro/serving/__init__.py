@@ -1,0 +1,60 @@
+"""Concurrent multi-venue serving layer.
+
+The production-shaped top of the stack: many venues (airport terminals,
+malls, campuses), many concurrent users, one process. Built from three
+pieces, each usable alone:
+
+* :class:`VenueRouter` — a bounded LRU pool of **thread-safe**
+  :class:`~repro.engine.engine.QueryEngine` instances, one per venue
+  fingerprint, lazily warm-started from a
+  :class:`~repro.storage.catalog.SnapshotCatalog`
+  (:meth:`~repro.storage.catalog.SnapshotCatalog.engine_for`); evicted
+  engines that served updates are snapshotted back (write-back) so no
+  object state is lost,
+* :class:`ServingFrontend` — a worker-thread pool draining a bounded
+  request queue (backpressure) with one
+  :class:`~concurrent.futures.Future` per request and graceful
+  drain/shutdown,
+* :func:`concurrent_replay` / :func:`sequential_replay` — multi-venue
+  workload drivers; concurrent replay is guaranteed (and CI-checked by
+  ``benchmarks/bench_serving.py``) to return element-wise identical
+  answers to sequential replay.
+
+Requests are :class:`ServingRequest` values tagged with a venue id (the
+venue fingerprint returned by :meth:`VenueRouter.add_venue`).
+
+Thread-safety model (details in ``docs/serving.md``): engines guard
+object updates with a :class:`~repro.engine.locking.RWLock` (queries
+read-side, updates write-side) and their caches with a mutex; the
+router and frontend each add one mutex of their own. Lock ordering is
+frontend -> router -> engine/catalog, strictly acyclic. Every public
+method in this package is safe to call from any thread; per-method
+guarantees are documented on the methods themselves.
+
+Quickstart::
+
+    from repro.serving import ServingFrontend, VenueRouter
+    from repro.storage import SnapshotCatalog
+
+    router = VenueRouter(SnapshotCatalog("snapshots/"), capacity=8)
+    vid = router.add_venue(space, objects=objects)
+    with ServingFrontend(router, workers=4) as frontend:
+        future = frontend.request(vid, "knn", source=point, k=5)
+        neighbors = future.result()
+"""
+
+from .frontend import FrontendStats, ServingFrontend
+from .replay import ServingReport, concurrent_replay, sequential_replay
+from .router import REQUEST_KINDS, RouterStats, ServingRequest, VenueRouter
+
+__all__ = [
+    "FrontendStats",
+    "REQUEST_KINDS",
+    "RouterStats",
+    "ServingFrontend",
+    "ServingReport",
+    "ServingRequest",
+    "VenueRouter",
+    "concurrent_replay",
+    "sequential_replay",
+]

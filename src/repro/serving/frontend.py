@@ -1,0 +1,278 @@
+"""ServingFrontend: a worker-thread pool over a bounded request queue.
+
+The frontend is the process-level entry point of the serving layer:
+callers :meth:`~ServingFrontend.submit` venue-tagged
+:class:`~repro.serving.router.ServingRequest` objects and receive a
+:class:`concurrent.futures.Future` per request; a fixed pool of worker
+threads drains the queue through
+:meth:`VenueRouter.execute <repro.serving.router.VenueRouter.execute>`.
+
+Design points:
+
+* **Backpressure** — the request queue is bounded
+  (``queue_size``); ``submit`` blocks while it is full and raises
+  :class:`~repro.exceptions.ServingError` after ``timeout`` seconds,
+  so a slow consumer surfaces as latency (then an error), never as
+  unbounded memory growth.
+* **Per-request futures** — results, exceptions included, travel
+  through the future; a failing request never kills a worker.
+* **Graceful drain/shutdown** — :meth:`drain` blocks until every
+  queued request has completed; :meth:`shutdown` stops intake,
+  optionally drains, then joins the workers. Requests submitted after
+  shutdown (or cancelled while queued) fail fast.
+
+Thread safety: every public method may be called from any thread.
+``submit`` is the only producer-side blocking point; workers only block
+on the queue. The frontend takes no engine or router locks itself —
+lock ordering is documented in ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from ..exceptions import ServingError
+from .router import ServingRequest, VenueRouter
+
+#: queue sentinel telling a worker to exit (one per worker)
+_STOP = object()
+
+
+@dataclass(slots=True)
+class FrontendStats:
+    """Point-in-time frontend counters.
+
+    ``submitted``/``completed``/``failed``/``rejected`` are monotone;
+    ``queued`` is the current queue depth (in-flight requests are
+    ``submitted - completed - failed - queued``).
+    """
+
+    workers: int = 0
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    queued: int = 0
+
+
+class ServingFrontend:
+    """Serve a :class:`VenueRouter` with a pool of worker threads.
+
+    Args:
+        router: the multi-venue dispatcher requests are executed on.
+            Anything with an ``execute(request)`` method works (tests
+            and benchmarks wrap routers to inject latency or faults).
+        workers: worker-thread count. With CPython's GIL, CPU-bound
+            query evaluation does not parallelize across workers —
+            extra workers buy *overlap* of the blocking parts of a
+            request (I/O, lock waits, downstream calls) and isolation
+            between venues; see ``docs/serving.md``.
+        queue_size: bound of the request queue (the backpressure knob).
+            ``0`` means unbounded (no backpressure — discouraged).
+
+    Usable as a context manager: ``with ServingFrontend(router) as fe:``
+    starts the workers and shuts down (draining) on exit.
+    """
+
+    def __init__(self, router: VenueRouter, *, workers: int = 4,
+                 queue_size: int = 1024) -> None:
+        if workers < 1:
+            raise ServingError(f"workers must be >= 1, got {workers}")
+        self.router = router
+        self.workers = int(workers)
+        self.queue_size = int(queue_size)
+        self._queue: queue.Queue = queue.Queue(maxsize=self.queue_size)
+        self._threads: list[threading.Thread] = []
+        self._mutex = threading.Lock()
+        self._started = False
+        self._accepting = False
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingFrontend":
+        """Start the worker threads (idempotent until :meth:`shutdown`).
+
+        Thread safety: safe from any thread; exactly one caller starts
+        the workers.
+        """
+        with self._mutex:
+            if self._started:
+                return self
+            self._started = True
+            self._accepting = True
+            self._threads = [
+                threading.Thread(target=self._worker, name=f"serving-worker-{i}",
+                                 daemon=True)
+                for i in range(self.workers)
+            ]
+            for t in self._threads:
+                t.start()
+        return self
+
+    def __enter__(self) -> "ServingFrontend":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Drain on clean exit; abandon the backlog when unwinding an
+        # exception (the caller is already failing — finish in-flight
+        # work and get out).
+        self.shutdown(drain=exc_type is None)
+
+    def drain(self) -> None:
+        """Block until every request queued *so far* has completed.
+
+        Concurrent submitters may keep the queue busy past this call —
+        drain is a point-in-time barrier, not an intake stop (that is
+        :meth:`shutdown`).
+
+        Thread safety: safe from any thread, including concurrently
+        with submits and other drains. Must not be called from a worker
+        thread (a worker waiting on its own queue deadlocks).
+        """
+        self._queue.join()
+
+    def shutdown(self, *, drain: bool = True) -> None:
+        """Stop intake, optionally drain the backlog, join the workers.
+
+        With ``drain=False`` requests still queued are cancelled (their
+        futures raise :class:`~concurrent.futures.CancelledError`);
+        requests already executing always run to completion. Idempotent.
+
+        Thread safety: safe from any thread; concurrent callers race
+        benignly (one wins each step).
+        """
+        with self._mutex:
+            was_accepting = self._accepting
+            self._accepting = False
+        if not self._started:
+            return
+        if drain and was_accepting:
+            self._queue.join()
+        # Cancel whatever is still queued (no-op after a drain), then
+        # wake every worker with a stop sentinel.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _STOP:
+                item[1].cancel()
+                with self._mutex:
+                    self._rejected += 1
+            self._queue.task_done()
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for t in self._threads:
+            t.join()
+        self._threads = []
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(self, request: ServingRequest, *, timeout: float | None = None) -> Future:
+        """Enqueue a request; returns its :class:`Future`.
+
+        Blocks while the bounded queue is full (backpressure). With a
+        ``timeout``, a queue that stays full raises
+        :class:`~repro.exceptions.ServingError` instead of blocking
+        forever.
+
+        Raises:
+            ServingError: frontend not started / shut down, or the
+                backpressure timeout expired.
+
+        Thread safety: safe from any number of producer threads.
+        """
+        with self._mutex:
+            if not self._accepting:
+                raise ServingError("serving frontend is not accepting requests")
+        future: Future = Future()
+        try:
+            self._queue.put((request, future), timeout=timeout)
+        except queue.Full:
+            with self._mutex:
+                self._rejected += 1
+            raise ServingError(
+                f"request queue full ({self.queue_size}) for {timeout}s — "
+                "backpressure timeout"
+            ) from None
+        with self._mutex:
+            self._submitted += 1
+            accepting = self._accepting
+        if not accepting and future.cancel():
+            # Shutdown raced us between the intake check and the
+            # enqueue: its cancel sweep may already have passed and the
+            # workers may already be gone, which would leave this
+            # future forever pending. Cancelling here keeps the
+            # "submits after shutdown fail fast" promise; if a worker
+            # got to the request first, cancel() fails and the request
+            # simply completes.
+            with self._mutex:
+                self._rejected += 1
+            raise ServingError("serving frontend shut down during submit")
+        return future
+
+    def request(self, venue: str, kind: str, **fields) -> Future:
+        """Convenience: build a :class:`ServingRequest` and submit it.
+
+        ``fields`` are the request's payload (``source=``, ``target=``,
+        ``k=``, ``radius=``, ``op=``).
+        """
+        return self.submit(ServingRequest(venue=venue, kind=kind, **fields))
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                return
+            request, future = item
+            if not future.set_running_or_notify_cancel():
+                self._queue.task_done()
+                continue
+            try:
+                result = self.router.execute(request)
+            except BaseException as exc:  # noqa: BLE001 - travels via the future
+                future.set_exception(exc)
+                with self._mutex:
+                    self._failed += 1
+            else:
+                future.set_result(result)
+                with self._mutex:
+                    self._completed += 1
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> FrontendStats:
+        """A consistent snapshot of frontend counters.
+
+        Thread safety: counters are read under the frontend mutex;
+        ``queued`` is the queue's instantaneous depth.
+        """
+        with self._mutex:
+            return FrontendStats(
+                workers=len(self._threads),
+                submitted=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                rejected=self._rejected,
+                queued=self._queue.qsize(),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        state = "accepting" if self._accepting else ("stopped" if self._started else "new")
+        return (
+            f"ServingFrontend({state}, workers={s.workers}, "
+            f"queued={s.queued}, done={s.completed})"
+        )

@@ -1,0 +1,394 @@
+"""VenueRouter: a bounded pool of warm-started engines, one per venue.
+
+The router turns a :class:`~repro.storage.catalog.SnapshotCatalog` into
+a multi-venue dispatch table. Venues are registered up front
+(:meth:`VenueRouter.add_venue`) and keyed by their **venue
+fingerprint** — the same key the catalog stores snapshots under — so a
+request tagged with a venue id always reaches the index built for
+exactly that venue revision.
+
+Engines are created lazily on first request via
+``catalog.engine_for(space, ...)`` (load the snapshot when one exists,
+else cold-build and save) with ``thread_safe=True``, and live in a
+bounded LRU pool: when more venues are registered than the pool admits,
+the least-recently-used **idle** engine is evicted. An evicted engine
+that served updates is first snapshotted back into its catalog slot
+(*write-back*), so its object state survives eviction and the next
+request for that venue warm-starts from where it left off.
+
+Thread safety: every public method may be called from any thread. The
+router holds one internal mutex around its pool bookkeeping; engine
+warm starts happen *outside* that mutex (serialized per venue by the
+catalog's slot locks), so a slow cold build for one venue never blocks
+requests for another.
+
+Lock ordering (outermost first): router mutex -> engine locks /
+catalog locks. Warm starts (slow cold builds) happen with the router
+mutex *released*; only eviction write-back runs under it — a deliberate
+stall that makes "save then drop" atomic against a concurrent re-load
+of the same venue from the stale file. Engines and the catalog never
+call back into the router, so the ordering is acyclic and
+deadlock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..engine.engine import QueryEngine
+from ..exceptions import ServingError
+from ..model.entities import IndoorPoint
+from ..model.indoor_space import IndoorSpace
+from ..model.objects import UpdateOp
+from ..storage.catalog import SnapshotCatalog
+from ..storage.snapshot import venue_fingerprint
+
+#: request kinds the router dispatches (mirrors the engine API)
+REQUEST_KINDS = ("distance", "path", "knn", "range", "update")
+
+
+@dataclass(slots=True, frozen=True)
+class ServingRequest:
+    """One routed request: a venue id plus the query/update payload.
+
+    ``kind`` selects which fields matter — exactly like
+    :class:`~repro.datasets.workloads.MixedQuery`, plus ``update``:
+
+    * ``distance`` / ``path`` — ``source`` and ``target``,
+    * ``knn`` — ``source`` and ``k``,
+    * ``range`` — ``source`` and ``radius``,
+    * ``update`` — ``op`` (an :class:`~repro.model.objects.UpdateOp`).
+
+    Instances are frozen (safe to share across threads).
+    """
+
+    venue: str
+    kind: str
+    source: IndoorPoint | None = None
+    target: IndoorPoint | None = None
+    k: int = 0
+    radius: float = 0.0
+    op: UpdateOp | None = None
+
+    @classmethod
+    def from_event(cls, venue: str, event) -> "ServingRequest":
+        """Wrap one workload event — a
+        :class:`~repro.datasets.workloads.MixedQuery` or an
+        :class:`~repro.model.objects.UpdateOp` — for ``venue``."""
+        if isinstance(event, UpdateOp):
+            return cls(venue=venue, kind="update", op=event)
+        return cls(
+            venue=venue,
+            kind=event.kind,
+            source=event.source,
+            target=event.target,
+            k=event.k,
+            radius=event.radius,
+        )
+
+
+@dataclass(slots=True)
+class _VenueSlot:
+    """Registration record for one venue (static; read-only after
+    :meth:`VenueRouter.add_venue`)."""
+
+    space: IndoorSpace
+    kind: str
+    objects: object = None
+    builder: object = None
+
+
+@dataclass(slots=True)
+class RouterStats:
+    """Point-in-time router counters (monotone except ``pooled``)."""
+
+    venues: int = 0
+    pooled: int = 0
+    requests: int = 0
+    warm_starts: int = 0
+    evictions: int = 0
+    write_backs: int = 0
+    by_venue: dict = field(default_factory=dict)
+
+
+class VenueRouter:
+    """Dispatch venue-tagged requests to a bounded pool of engines.
+
+    Args:
+        catalog: the snapshot catalog engines warm-start from (and are
+            written back into on eviction).
+        capacity: maximum engines kept in the pool. ``0`` means
+            unbounded. Busy engines (requests in flight) are never
+            evicted, so the bound is soft under extreme concurrency.
+        kind: default index kind for :meth:`add_venue`.
+        **engine_kwargs: forwarded to every :class:`QueryEngine`
+            (``thread_safe=True`` is always enforced — a pooled engine
+            is by definition shared).
+
+    Thread safety: all methods are safe from any thread; see the module
+    docstring for the locking design.
+    """
+
+    def __init__(
+        self,
+        catalog: SnapshotCatalog,
+        *,
+        capacity: int = 8,
+        kind: str = "VIP-Tree",
+        **engine_kwargs,
+    ) -> None:
+        self.catalog = catalog
+        self.capacity = int(capacity)
+        self.default_kind = kind
+        engine_kwargs["thread_safe"] = True
+        self._engine_kwargs = engine_kwargs
+        self._mutex = threading.Lock()
+        self._venues: dict[str, _VenueSlot] = {}
+        self._engines: OrderedDict[str, QueryEngine] = OrderedDict()
+        self._inflight: dict[str, int] = {}
+        self._requests = 0
+        self._warm_starts = 0
+        self._evictions = 0
+        self._write_backs = 0
+        self._by_venue: dict[str, int] = {}
+        #: update count already persisted per venue — write-back and
+        #: flush() only re-serialize engines dirty since their last save
+        self._saved_updates: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_venue(self, space: IndoorSpace, *, kind: str | None = None,
+                  objects=None, builder=None) -> str:
+        """Register a venue and return its id (the venue fingerprint).
+
+        ``objects``/``builder`` are used only if this venue's engine is
+        ever cold-built (no snapshot in the catalog yet) — a loaded
+        snapshot serves the object set it was saved with. Registering
+        the same venue twice is idempotent (the latest registration
+        wins).
+
+        Thread safety: safe from any thread.
+        """
+        venue_id = venue_fingerprint(space)
+        slot = _VenueSlot(space=space, kind=kind or self.default_kind,
+                          objects=objects, builder=builder)
+        with self._mutex:
+            self._venues[venue_id] = slot
+        return venue_id
+
+    def venue_ids(self) -> list[str]:
+        """Registered venue ids, in registration order."""
+        with self._mutex:
+            return list(self._venues)
+
+    def describe(self, venue_id: str) -> tuple[str, str]:
+        """``(venue name, index kind)`` for a registered venue id."""
+        with self._mutex:
+            slot = self._venues.get(venue_id)
+        if slot is None:
+            raise ServingError(f"unknown venue id {venue_id[:12]!r}")
+        return slot.space.name, slot.kind
+
+    # ------------------------------------------------------------------
+    # Engine pool
+    # ------------------------------------------------------------------
+    def engine(self, venue_id: str) -> QueryEngine:
+        """The venue's pooled engine, warm-starting it if necessary.
+
+        Prefer :meth:`execute` for serving work — it additionally pins
+        the engine against eviction for the request's duration. A
+        reference obtained here stays valid and answer-correct after
+        eviction, but updates applied to an already-evicted engine are
+        not written back.
+
+        Thread safety: safe from any thread; concurrent first calls for
+        one venue warm-start once (catalog slot lock) and the pool
+        keeps a single shared engine.
+        """
+        engine, _ = self._acquire(venue_id, pin=False)
+        return engine
+
+    def _acquire(self, venue_id: str, *, pin: bool) -> tuple[QueryEngine, bool]:
+        """``(engine, pinned)`` — pooled lookup, else warm start.
+
+        With ``pin=True`` the in-flight count is incremented under the
+        same mutex hold that resolves the engine, closing the window in
+        which an eviction could observe the engine as idle.
+        """
+        with self._mutex:
+            slot = self._venues.get(venue_id)
+            if slot is None:
+                raise ServingError(f"unknown venue id {venue_id[:12]!r}")
+            engine = self._engines.get(venue_id)
+            if engine is not None:
+                self._engines.move_to_end(venue_id)
+                if pin:
+                    self._inflight[venue_id] = self._inflight.get(venue_id, 0) + 1
+                return engine, pin
+
+        # Warm start outside the router mutex: the catalog slot lock
+        # serializes concurrent builds of the same venue.
+        fresh = self.catalog.engine_for(
+            slot.space, slot.kind, objects=slot.objects, builder=slot.builder,
+            **self._engine_kwargs,
+        )
+        with self._mutex:
+            engine = self._engines.get(venue_id)
+            if engine is None:
+                engine = fresh
+                self._engines[venue_id] = engine
+                # the fresh engine's update counter restarts at zero:
+                # reset the venue's persisted-updates watermark with it
+                self._saved_updates.pop(venue_id, None)
+                self._warm_starts += 1
+                self._evict_idle_locked()
+            else:
+                self._engines.move_to_end(venue_id)  # lost the race: share theirs
+            if pin:
+                self._inflight[venue_id] = self._inflight.get(venue_id, 0) + 1
+            return engine, pin
+
+    def _release(self, venue_id: str) -> None:
+        with self._mutex:
+            left = self._inflight.get(venue_id, 0) - 1
+            if left > 0:
+                self._inflight[venue_id] = left
+            else:
+                self._inflight.pop(venue_id, None)
+
+    def _evict_idle_locked(self) -> None:
+        """Evict least-recently-used idle engines down to capacity.
+
+        Caller holds the mutex. Engines that served updates are
+        snapshotted back into their catalog slot first (write-back), so
+        no object state is lost; the save happens synchronously — the
+        caller that triggered the eviction pays it, keeping the pool
+        bound honest.
+        """
+        if self.capacity <= 0:
+            return
+        while len(self._engines) > self.capacity:
+            victim = None
+            for vid in self._engines:  # oldest first
+                if self._inflight.get(vid, 0) == 0:
+                    victim = vid
+                    break
+            if victim is None:
+                return  # everything busy: soft bound, retry on next insert
+            engine = self._engines.pop(victim)
+            self._evictions += 1
+            if self._write_back(victim, engine):
+                self._write_backs += 1
+
+    def _write_back(self, venue_id: str, engine: QueryEngine) -> bool:
+        """Persist ``engine`` to its catalog slot if it is dirty —
+        i.e. has served updates since its last write-back. Runs under
+        the engine's read lock, so the saved state is point-in-time
+        consistent: concurrent updates wait, concurrent queries do not.
+        Returns whether a snapshot was written.
+        """
+        with engine.lock.read():
+            updates = engine.stats().updates
+            if updates <= self._saved_updates.get(venue_id, 0):
+                return False
+            self.catalog.save(
+                engine.index,
+                engine.object_index if engine.object_index is not None else engine.objects,
+            )
+        self._saved_updates[venue_id] = updates
+        return True
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def execute(self, request: ServingRequest):
+        """Dispatch one :class:`ServingRequest` to its venue's engine.
+
+        Returns the engine's answer (``float`` / ``PathResult`` /
+        ``list[Neighbor]`` / update return value). The engine is pinned
+        for the duration — it cannot be evicted mid-request, so updates
+        are never silently dropped by a concurrent eviction.
+
+        Raises:
+            ServingError: unknown venue id or unknown request kind.
+
+        Thread safety: safe from any thread — this is the method the
+        :class:`~repro.serving.frontend.ServingFrontend` workers call
+        concurrently.
+        """
+        engine, pinned = self._acquire(request.venue, pin=True)
+        try:
+            with self._mutex:
+                self._requests += 1
+                self._by_venue[request.venue] = self._by_venue.get(request.venue, 0) + 1
+            kind = request.kind
+            if kind == "distance":
+                return engine.distance(request.source, request.target)
+            if kind == "path":
+                return engine.path(request.source, request.target)
+            if kind == "knn":
+                return engine.knn(request.source, request.k)
+            if kind == "range":
+                return engine.range_query(request.source, request.radius)
+            if kind == "update":
+                return engine.update(request.op)
+            raise ServingError(
+                f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}"
+            )
+        finally:
+            if pinned:
+                self._release(request.venue)
+
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Write every *dirty* pooled engine back to the catalog.
+
+        Dirty means updated since its last write-back — repeat flushes
+        of an unchanged engine are no-ops, so periodic background
+        flushes cost nothing at steady state. Returns the number of
+        snapshots written. Call during shutdown (the frontend's
+        ``shutdown`` does not flush automatically) or periodically for
+        durability. Engines stay pooled.
+
+        Thread safety: safe concurrently with requests. Each engine is
+        serialized under its read lock, so every written snapshot is
+        point-in-time consistent (concurrent updates briefly wait;
+        queries do not). Like eviction write-back, the save runs under
+        the router mutex — other venues' dispatch stalls for the
+        duration of each dirty engine's save.
+        """
+        with self._mutex:
+            items = list(self._engines.items())
+            written = 0
+            for venue_id, engine in items:
+                if self._write_back(venue_id, engine):
+                    written += 1
+                    self._write_backs += 1
+        return written
+
+    def stats(self) -> RouterStats:
+        """A consistent snapshot of router counters.
+
+        Thread safety: taken under the router mutex — safe and
+        consistent at any time.
+        """
+        with self._mutex:
+            return RouterStats(
+                venues=len(self._venues),
+                pooled=len(self._engines),
+                requests=self._requests,
+                warm_starts=self._warm_starts,
+                evictions=self._evictions,
+                write_backs=self._write_backs,
+                by_venue=dict(self._by_venue),
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"VenueRouter(venues={s.venues}, pooled={s.pooled}/"
+            f"{self.capacity or '∞'}, requests={s.requests})"
+        )

@@ -16,11 +16,29 @@ Keys are ``(venue, kind)``; the venue side is always the fingerprint,
 never just the name. :meth:`SnapshotCatalog.engine_for` is the
 warm-start entry point a serving process calls per venue: load the
 snapshot when one exists, otherwise cold-build, save, and serve.
+
+Thread safety
+-------------
+A catalog may be shared by many serving threads (that is exactly what
+:class:`repro.serving.VenueRouter` does):
+
+* :meth:`load_or_build` / :meth:`engine_for` serialize per catalog
+  **slot** (venue fingerprint + kind): when several threads warm-start
+  the same venue concurrently, exactly one pays the cold build and
+  saves the snapshot — the rest load the file it wrote. Different
+  slots proceed fully in parallel.
+* :meth:`load`, :meth:`has`, :meth:`entries`, :meth:`path_for` and
+  :meth:`venue_dir` are read-only and safe from any thread.
+* :meth:`save` is atomic at the file level (the snapshot writer
+  replaces the file in one rename), but concurrent *external* writers
+  to the same slot are last-writer-wins — route concurrent warm starts
+  through :meth:`load_or_build` instead.
 """
 
 from __future__ import annotations
 
 import re
+import threading
 from pathlib import Path
 
 from ..core.objects_index import ObjectIndex
@@ -58,6 +76,15 @@ class SnapshotCatalog:
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+        # Per-slot build locks (see "Thread safety" above). The guard
+        # protects the dict itself; each slot lock serializes
+        # load_or_build for one (venue fingerprint, kind) pair.
+        self._locks_guard = threading.Lock()
+        self._slot_locks: dict[str, threading.Lock] = {}
+
+    def _slot_lock(self, path: Path) -> threading.Lock:
+        with self._locks_guard:
+            return self._slot_locks.setdefault(str(path), threading.Lock())
 
     # ------------------------------------------------------------------
     # Paths & keys
@@ -135,28 +162,34 @@ class SnapshotCatalog:
         ``objects``, and serves the just-built live state directly
         (``loaded=False``) — no redundant re-parse of the file it just
         wrote. Either way the result is ready to query.
+
+        Thread safety: concurrent calls for the same ``(space, kind)``
+        slot are serialized — one caller builds and saves, the rest
+        load the freshly written snapshot (each gets an independent
+        in-memory copy). Distinct slots never contend.
         """
-        if self.has(space, kind):
-            return self.load(space, kind), True
-        index = builder(space) if builder is not None else build_index(kind, space)
-        # An ObjectIndex argument wraps some *previous* tree — re-embed
-        # its object set into the freshly built index (when that index
-        # is a tree; baselines take the bare set).
-        object_set = objects.objects if isinstance(objects, ObjectIndex) else objects
-        object_index = (
-            ObjectIndex(index, object_set)
-            if object_set is not None and isinstance(index, IPTree)
-            else None
-        )
-        info = self.save(index, object_index if object_index is not None else object_set)
-        snapshot = Snapshot(
-            info=info,
-            space=space,
-            index=index,
-            objects=object_set,
-            object_index=object_index,
-        )
-        return snapshot, False
+        with self._slot_lock(self.path_for(space, kind)):
+            if self.has(space, kind):
+                return self.load(space, kind), True
+            index = builder(space) if builder is not None else build_index(kind, space)
+            # An ObjectIndex argument wraps some *previous* tree —
+            # re-embed its object set into the freshly built index
+            # (when that index is a tree; baselines take the bare set).
+            object_set = objects.objects if isinstance(objects, ObjectIndex) else objects
+            object_index = (
+                ObjectIndex(index, object_set)
+                if object_set is not None and isinstance(index, IPTree)
+                else None
+            )
+            info = self.save(index, object_index if object_index is not None else object_set)
+            snapshot = Snapshot(
+                info=info,
+                space=space,
+                index=index,
+                objects=object_set,
+                object_index=object_index,
+            )
+            return snapshot, False
 
     def engine_for(
         self,
@@ -170,7 +203,16 @@ class SnapshotCatalog:
 
         ``objects`` is only used on the cold-build path (it is saved
         into the new snapshot); a loaded snapshot serves the object set
-        it was saved with.
+        it was saved with. Pass ``thread_safe=True`` (forwarded to the
+        engine) when the engine will be shared across threads —
+        :class:`repro.serving.VenueRouter` does this for every engine
+        in its pool.
+
+        Thread safety: as :meth:`load_or_build` — concurrent calls for
+        one venue build once; every caller gets an independent engine
+        over an independent in-memory index copy (callers wanting one
+        *shared* engine per venue should pool it, which is exactly what
+        the serving router does).
         """
         snap, _ = self.load_or_build(space, kind, objects=objects, builder=builder)
         return snap.engine(**engine_kwargs)

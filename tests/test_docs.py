@@ -1,8 +1,9 @@
-"""Docs stay executable: README/ARCHITECTURE snippets and links.
+"""Docs stay executable: every repo markdown's snippets and links.
 
-Runs ``tools/check_docs.py`` (the same check CI's docs job runs): every
-fenced ```python block in the two documents must execute against the
-current code, and every relative link must resolve.
+Runs ``tools/check_docs.py`` in discovery mode (the same invocation
+CI's docs job uses): every fenced ```python block in every discovered
+``*.md`` — top-level files and ``docs/`` alike — must execute against
+the current code, and every relative link must resolve.
 """
 
 import os
@@ -11,17 +12,31 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from check_docs import EXCLUDED_NAMES, discover_markdown  # noqa: E402
+
+
+def test_discovery_covers_docs_and_top_level():
+    found = discover_markdown()
+    assert "README.md" in found and "ARCHITECTURE.md" in found
+    assert "docs/serving.md" in found and "docs/benchmarks.md" in found
+    assert "ISSUE.md" not in found and "ISSUE.md" in EXCLUDED_NAMES
+    assert not any(part.startswith(".") for f in found for part in Path(f).parts)
 
 
 def test_docs_snippets_and_links():
     env = dict(os.environ)
     env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
-        [sys.executable, str(ROOT / "tools" / "check_docs.py"), "README.md", "ARCHITECTURE.md"],
+        [sys.executable, str(ROOT / "tools" / "check_docs.py")],
         capture_output=True,
         text=True,
         env=env,
         cwd=ROOT,
     )
     assert proc.returncode == 0, f"docs check failed:\n{proc.stdout}\n{proc.stderr}"
-    assert "README.md" in proc.stdout and "ARCHITECTURE.md" in proc.stdout
+    for required in ("README.md", "ARCHITECTURE.md",
+                     os.path.join("docs", "serving.md"),
+                     os.path.join("docs", "benchmarks.md")):
+        assert required in proc.stdout, f"{required} not checked"

@@ -1,0 +1,245 @@
+"""Stress test: one thread-safe engine hammered from many threads.
+
+The contract under test (``QueryEngine(thread_safe=True)``, see the
+engine module docstring): concurrent queries with interleaved updates
+never crash, never corrupt the object index, always return answers
+consistent with *some* sequentially-applied prefix of the updates, and
+``stats()`` counters sum **exactly** once the threads are quiescent.
+
+Oracle checking under concurrency:
+
+* distance/path answers are object-independent, so every answer is
+  checked against a precomputed Dijkstra-oracle value *during* the
+  storm,
+* kNN/range answers depend on when updates land; they are checked for
+  internal consistency during the storm (sorted, non-negative, k
+  bounded) and against the oracle on the final object population once
+  the threads have joined,
+* the incrementally-maintained ``ObjectIndex`` must be structurally
+  identical to a fresh build over the final object set.
+
+Marked ``slow`` (a few seconds of real threading) but kept in the
+default CI run — this is the test that guards the serving layer's
+foundation.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import ObjectIndex, VIPTree
+from repro.baselines import DijkstraOracle
+from repro.datasets import build_mall, random_objects, random_point
+from repro.engine import QueryEngine
+
+N_QUERY_THREADS = 4
+QUERIES_PER_THREAD = 300
+N_UPDATES = 200
+
+
+@pytest.fixture(scope="module")
+def storm_setup():
+    space = build_mall("tiny", name="storm-mall")
+    tree = VIPTree.build(space)
+    objects = random_objects(space, 18, seed=3)
+    oracle = DijkstraOracle(space, tree.d2d)
+    return space, tree, objects, oracle
+
+
+def _neighbors(result):
+    return [(round(n.distance, 8), n.object_id) for n in result]
+
+
+@pytest.mark.slow
+def test_concurrent_queries_with_interleaved_updates(storm_setup):
+    space, tree, objects, oracle = storm_setup
+    engine = QueryEngine(tree, ObjectIndex(tree, objects), thread_safe=True)
+
+    rng = random.Random(11)
+    points = [random_point(space, rng) for _ in range(40)]
+    # Object-independent ground truth, usable mid-storm.
+    expected_distance = {
+        (i, j): oracle.shortest_distance(points[i], points[j])
+        for i in range(0, 12) for j in range(12, 24)
+    }
+
+    errors: list[BaseException] = []
+    issued = [dict(distance=0, path=0, knn=0, range=0) for _ in range(N_QUERY_THREADS)]
+    barrier = threading.Barrier(N_QUERY_THREADS + 1, timeout=30)
+
+    def query_worker(wid: int):
+        try:
+            r = random.Random(100 + wid)
+            barrier.wait()
+            for _ in range(QUERIES_PER_THREAD):
+                roll = r.random()
+                if roll < 0.4:
+                    q = r.choice(points)
+                    got = engine.knn(q, 3)
+                    issued[wid]["knn"] += 1
+                    assert len(got) <= 3
+                    ds = [n.distance for n in got]
+                    assert ds == sorted(ds) and all(d >= 0 for d in ds)
+                elif roll < 0.6:
+                    q = r.choice(points)
+                    got = engine.range_query(q, 30.0)
+                    issued[wid]["range"] += 1
+                    assert all(0 <= n.distance <= 30.0 for n in got)
+                elif roll < 0.9:
+                    i, j = r.randrange(0, 12), r.randrange(12, 24)
+                    got = engine.distance(points[i], points[j])
+                    issued[wid]["distance"] += 1
+                    assert got == pytest.approx(expected_distance[(i, j)])
+                else:
+                    i, j = r.randrange(0, 12), r.randrange(12, 24)
+                    got = engine.path(points[i], points[j])
+                    issued[wid]["path"] += 1
+                    assert got.distance == pytest.approx(expected_distance[(i, j)])
+        except BaseException as exc:  # noqa: BLE001 - surfaced after join
+            errors.append(exc)
+
+    applied = []
+
+    def update_worker():
+        try:
+            r = random.Random(999)
+            barrier.wait()
+            for n in range(N_UPDATES):
+                live = engine.objects.live_ids()
+                roll = r.random()
+                if roll < 0.2 or len(live) < 5:
+                    engine.insert_object(random_point(space, r), label=f"storm-{n}")
+                elif roll < 0.3:
+                    engine.delete_object(r.choice(live))
+                else:
+                    engine.move_object(r.choice(live), random_point(space, r))
+                applied.append(n)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=query_worker, args=(w,))
+               for w in range(N_QUERY_THREADS)]
+    threads.append(threading.Thread(target=update_worker))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not any(t.is_alive() for t in threads), "storm deadlocked"
+    assert not errors, f"{len(errors)} worker failure(s): {errors[0]!r}"
+
+    # ------------------------------------------------------------------
+    # Quiescent: counters must sum exactly.
+    # ------------------------------------------------------------------
+    stats = engine.stats()
+    for kind in ("distance", "path", "knn", "range"):
+        want = sum(w[kind] for w in issued)
+        assert getattr(stats, f"{kind}_queries") == want, kind
+    assert stats.queries == N_QUERY_THREADS * QUERIES_PER_THREAD
+    assert stats.updates == len(applied) == N_UPDATES
+    # every update invalidates once; racing stale-version readers must
+    # not inflate the count beyond one event per version change
+    assert stats.invalidations == N_UPDATES
+    for kind in ("distance", "path", "knn", "range"):
+        hits = getattr(stats, f"{kind}_hits")
+        misses = getattr(stats, f"{kind}_misses")
+        assert hits + misses == getattr(stats, f"{kind}_queries"), kind
+
+    # ------------------------------------------------------------------
+    # Final state: index integrity and oracle equality.
+    # ------------------------------------------------------------------
+    fresh = ObjectIndex(tree, engine.objects)
+    incremental = engine.object_index
+    assert {k: sorted(v) for k, v in incremental.leaf_objects.items()} == \
+        {k: sorted(v) for k, v in fresh.leaf_objects.items()}
+    assert incremental.access_lists == fresh.access_lists
+    assert incremental.node_counts == fresh.node_counts
+
+    for q in points[:8]:
+        got = _neighbors(engine.knn(q, 5))
+        want = [(round(d, 8), oid) for d, oid in oracle.knn(q, engine.objects, 5)]
+        assert got == want, "post-storm kNN diverged from the oracle"
+        got_r = _neighbors(engine.range_query(q, 35.0))
+        want_r = [(round(d, 8), oid)
+                  for d, oid in oracle.range_query(q, engine.objects, 35.0)]
+        assert got_r == want_r, "post-storm range diverged from the oracle"
+
+
+@pytest.mark.slow
+def test_thread_safe_engine_answers_match_plain_engine(storm_setup):
+    """thread_safe=True must not change any answer (single-threaded)."""
+    space, tree, objects, oracle = storm_setup
+    plain = QueryEngine(tree, ObjectIndex(tree, random_objects(space, 18, seed=3)))
+    guarded = QueryEngine(tree, ObjectIndex(tree, random_objects(space, 18, seed=3)),
+                          thread_safe=True)
+    rng = random.Random(55)
+    for _ in range(60):
+        q, t = random_point(space, rng), random_point(space, rng)
+        assert plain.distance(q, t) == guarded.distance(q, t)
+        assert plain.path(q, t).doors == guarded.path(q, t).doors
+        assert _neighbors(plain.knn(q, 4)) == _neighbors(guarded.knn(q, 4))
+        assert _neighbors(plain.range_query(q, 25.0)) == \
+            _neighbors(guarded.range_query(q, 25.0))
+    a, b = plain.stats(), guarded.stats()
+    assert a.as_dict() == b.as_dict()
+
+
+def test_thread_churn_does_not_leak_contexts(storm_setup):
+    """Dead threads' QueryContexts are pruned (counters folded), so a
+    thread-per-request embedder cannot grow the registry unboundedly."""
+    space, tree, objects, oracle = storm_setup
+    engine = QueryEngine(tree, ObjectIndex(tree, objects), thread_safe=True)
+    rng = random.Random(3)
+    # distinct points: every query misses the kNN result cache and so
+    # actually exercises (and counts in) its thread's QueryContext
+    points = [random_point(space, rng) for _ in range(26)]
+
+    def one_query(p):
+        engine.knn(p, 2)
+
+    for p in points[:25]:  # 25 short-lived threads, strictly sequential
+        t = threading.Thread(target=one_query, args=(p,))
+        t.start()
+        t.join(timeout=30)
+    # next registration prunes everything dead
+    engine.knn(points[25], 2)
+    assert len(engine._ctx_registry) <= 2
+    stats = engine.stats()
+    assert stats.knn_queries == 26
+    # folded counters survive pruning: every thread resolved its endpoint
+    assert stats.endpoint_hits + stats.endpoint_misses == 26
+
+
+@pytest.mark.slow
+def test_clear_caches_concurrent_with_queries(storm_setup):
+    """clear_caches mid-storm never corrupts answers or deadlocks."""
+    space, tree, objects, oracle = storm_setup
+    engine = QueryEngine(tree, ObjectIndex(tree, objects), thread_safe=True)
+    rng = random.Random(2)
+    points = [random_point(space, rng) for _ in range(10)]
+    truth = {i: _neighbors(engine.knn(points[i], 3)) for i in range(len(points))}
+
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def querier():
+        try:
+            r = random.Random(7)
+            while not stop.is_set():
+                i = r.randrange(len(points))
+                assert _neighbors(engine.knn(points[i], 3)) == truth[i]
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=querier) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for _ in range(50):
+        engine.clear_caches()
+    stop.set()
+    for t in threads:
+        t.join(timeout=30)
+    assert not any(t.is_alive() for t in threads)
+    assert not errors, errors[0]

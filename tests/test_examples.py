@@ -22,4 +22,5 @@ def test_example_runs(script, capsys, monkeypatch):
 def test_examples_present():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "emergency_evacuation", "airport_navigation",
-            "campus_facility_search", "live_tracking"} <= names
+            "campus_facility_search", "live_tracking",
+            "multi_venue_server"} <= names

@@ -1,11 +1,14 @@
 """Docs checker: execute fenced python snippets and verify local links.
 
-Keeps README.md / ARCHITECTURE.md honest — every ```python block must
-actually run against the current code, and every relative markdown link
-must point at a file that exists. CI runs this alongside the test
-workflow; locally::
+Keeps the repo's markdown honest — every ```python block must actually
+run against the current code, and every relative markdown link must
+point at a file that exists. With no arguments it **discovers every
+``*.md`` file in the repository recursively** (``docs/`` included), so
+new documents can never silently rot outside the check. CI runs this
+alongside the test workflow; locally::
 
-    PYTHONPATH=src python tools/check_docs.py README.md ARCHITECTURE.md
+    PYTHONPATH=src python tools/check_docs.py              # everything
+    PYTHONPATH=src python tools/check_docs.py docs/serving.md
 
 Rules:
 
@@ -15,8 +18,12 @@ Rules:
 * Blocks fenced with any other language (```bash, ```text, …) are
   skipped.
 * Relative links/images ``[text](target)`` are resolved against the
-  repo root and must exist (``http(s):``/``mailto:`` and ``#anchor``
-  links are skipped).
+  linking file's directory and must exist (``http(s):``/``mailto:``
+  and ``#anchor`` links are skipped).
+* Discovery skips hidden directories (``.git`` and friends) and the
+  files in :data:`EXCLUDED_NAMES` (``ISSUE.md`` is per-PR scratch
+  state, not documentation). Explicitly named files are always
+  checked, excluded or not.
 """
 
 from __future__ import annotations
@@ -28,8 +35,25 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
+#: file names discovery skips (explicit arguments override this)
+EXCLUDED_NAMES = frozenset({"ISSUE.md"})
+
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def discover_markdown(root: Path = REPO_ROOT) -> list[str]:
+    """Every ``*.md`` under ``root``, repo-root-relative, sorted —
+    skipping hidden directories and :data:`EXCLUDED_NAMES`."""
+    found = []
+    for path in sorted(root.rglob("*.md")):
+        rel = path.relative_to(root)
+        if any(part.startswith(".") for part in rel.parts):
+            continue
+        if path.name in EXCLUDED_NAMES:
+            continue
+        found.append(str(rel))
+    return found
 
 
 def extract_python_blocks(text: str) -> list[tuple[int, str]]:
@@ -78,11 +102,16 @@ def check_snippets(path: Path, text: str) -> list[str]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("files", nargs="*", default=["README.md", "ARCHITECTURE.md"])
+    parser.add_argument(
+        "files", nargs="*",
+        help="markdown files to check (default: discover every *.md "
+             "in the repo, excluding hidden dirs and ISSUE.md)",
+    )
     args = parser.parse_args(argv)
+    files = args.files or discover_markdown()
 
     errors: list[str] = []
-    for name in args.files:
+    for name in files:
         path = (REPO_ROOT / name).resolve()
         if not path.exists():
             errors.append(f"missing doc file: {name}")
@@ -91,7 +120,7 @@ def main(argv=None) -> int:
         errors += check_links(path, text)
         errors += check_snippets(path, text)
         n = len(extract_python_blocks(text))
-        print(f"{path.name}: {n} python snippet(s) executed")
+        print(f"{name}: {n} python snippet(s) executed")
     for e in errors:
         print(f"ERROR: {e}", file=sys.stderr)
     return 1 if errors else 0
