@@ -45,6 +45,18 @@ class ServingError(ReproError):
     """
 
 
+class ProtocolError(ServingError):
+    """A serving-protocol frame or document is malformed.
+
+    Raised by :mod:`repro.serving.protocol` for oversized frames
+    (declared length above the reader's limit), truncated frames (the
+    peer closed mid-frame), undecodable payloads, and request/response
+    documents with unknown shapes. A :class:`ProtocolError` on a shard
+    connection is fatal for that connection — the cluster treats it
+    like a crashed shard and restarts it from its snapshots.
+    """
+
+
 class SnapshotError(ReproError):
     """An index snapshot cannot be written, read or trusted.
 

@@ -1,27 +1,45 @@
 """Concurrent multi-venue serving layer.
 
 The production-shaped top of the stack: many venues (airport terminals,
-malls, campuses), many concurrent users, one process. Built from three
-pieces, each usable alone:
+malls, campuses), many concurrent users. Three explicit layers, each
+usable alone:
 
-* :class:`VenueRouter` — a bounded LRU pool of **thread-safe**
-  :class:`~repro.engine.engine.QueryEngine` instances, one per venue
-  fingerprint, lazily warm-started from a
-  :class:`~repro.storage.catalog.SnapshotCatalog`
-  (:meth:`~repro.storage.catalog.SnapshotCatalog.engine_for`); evicted
-  engines that served updates are snapshotted back (write-back) so no
-  object state is lost,
-* :class:`ServingFrontend` — a worker-thread pool draining a bounded
-  request queue (backpressure) with one
-  :class:`~concurrent.futures.Future` per request and graceful
-  drain/shutdown,
-* :func:`concurrent_replay` / :func:`sequential_replay` — multi-venue
-  workload drivers; concurrent replay is guaranteed (and CI-checked by
-  ``benchmarks/bench_serving.py``) to return element-wise identical
-  answers to sequential replay.
+* **Protocol** (:mod:`~repro.serving.protocol`) — the one request/
+  response shape every transport speaks: :class:`Request` (exported as
+  ``ServingRequest`` too) / :class:`Response` / :class:`ErrorResponse`
+  plus a length-prefixed canonical-JSON wire codec with bit-exact
+  packed numerics. A query answered over a socket is element-wise
+  identical to the same query answered in-process.
+* **Workers** — two transports behind that protocol:
 
-Requests are :class:`ServingRequest` values tagged with a venue id (the
-venue fingerprint returned by :meth:`VenueRouter.add_venue`).
+  * :class:`ServingFrontend` — **in-thread**: a worker-thread pool
+    draining a bounded request queue (backpressure) over a
+    :class:`VenueRouter`, one :class:`~concurrent.futures.Future` per
+    request. Threads overlap the blocking share of requests but the
+    GIL serializes the CPU-bound index math.
+  * :class:`~repro.serving.shard.ShardWorker` /
+    :class:`~repro.serving.shard.ShardProcess` — **one process per
+    shard**: the same router behind a socket, requests multiplexed
+    with per-request futures, a background
+    :class:`~repro.serving.router.PeriodicFlusher` for durability, and
+    flush-on-drain.
+* **Cluster** (:class:`ClusterFrontend`) — hash-partitions venue
+  fingerprints across N shard processes: true multi-core scaling for
+  the CPU-bound query math, crash restart from catalog snapshots (the
+  flush interval bounds the durability window), backpressure, graceful
+  drain. ``python -m repro.serving`` serves a catalog this way over
+  TCP.
+
+:class:`VenueRouter` — a bounded LRU pool of **thread-safe**
+:class:`~repro.engine.engine.QueryEngine` instances keyed by venue
+fingerprint, lazily warm-started from a
+:class:`~repro.storage.catalog.SnapshotCatalog` with eviction
+write-back — is the per-process serving unit both transports share.
+:func:`concurrent_replay` / :func:`sequential_replay` drive multi-venue
+workloads through either frontend; concurrent replay is guaranteed (and
+CI-checked by ``benchmarks/bench_serving.py``) to return element-wise
+identical answers to sequential replay, in-thread and across the
+cluster alike.
 
 Thread-safety model (details in ``docs/serving.md``): engines guard
 object updates with a :class:`~repro.engine.locking.RWLock` (queries
@@ -31,7 +49,7 @@ frontend -> router -> engine/catalog, strictly acyclic. Every public
 method in this package is safe to call from any thread; per-method
 guarantees are documented on the methods themselves.
 
-Quickstart::
+Quickstart (in-thread)::
 
     from repro.serving import ServingFrontend, VenueRouter
     from repro.storage import SnapshotCatalog
@@ -41,19 +59,52 @@ Quickstart::
     with ServingFrontend(router, workers=4) as frontend:
         future = frontend.request(vid, "knn", source=point, k=5)
         neighbors = future.result()
+
+Quickstart (sharded cluster — same requests, N processes)::
+
+    from repro.serving import ClusterFrontend
+
+    with ClusterFrontend("snapshots/", shards=4) as cluster:
+        vid = cluster.add_venue(space, objects=objects)
+        neighbors = cluster.request(vid, "knn", source=point, k=5).result()
 """
 
+from .cluster import ClusterFrontend, ClusterStats
 from .frontend import FrontendStats, ServingFrontend
+from .protocol import (
+    CONTROL_KINDS,
+    ErrorResponse,
+    QUERY_KINDS,
+    Request,
+    Response,
+)
 from .replay import ServingReport, concurrent_replay, sequential_replay
-from .router import REQUEST_KINDS, RouterStats, ServingRequest, VenueRouter
+from .router import (
+    PeriodicFlusher,
+    REQUEST_KINDS,
+    RouterStats,
+    ServingRequest,
+    VenueRouter,
+)
+from .shard import ShardProcess, ShardWorker
 
 __all__ = [
+    "CONTROL_KINDS",
+    "ClusterFrontend",
+    "ClusterStats",
+    "ErrorResponse",
     "FrontendStats",
+    "PeriodicFlusher",
+    "QUERY_KINDS",
     "REQUEST_KINDS",
+    "Request",
+    "Response",
     "RouterStats",
     "ServingFrontend",
     "ServingReport",
     "ServingRequest",
+    "ShardProcess",
+    "ShardWorker",
     "VenueRouter",
     "concurrent_replay",
     "sequential_replay",

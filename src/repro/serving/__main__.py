@@ -1,0 +1,303 @@
+"""Serving CLI: ``python -m repro.serving serve`` — a sharded cluster
+over TCP.
+
+Spins up a :class:`~repro.serving.cluster.ClusterFrontend` (one
+process per shard, warm-started from a snapshot catalog) and a TCP
+front door speaking the length-prefixed wire protocol of
+:mod:`repro.serving.protocol`: clients send framed request documents
+and receive framed replies, matched by request id.
+
+Examples:
+    # serve two venues on an ephemeral port, 4 shard processes
+    python -m repro.serving serve --catalog .snapshots \\
+        --venue MC --venue Men-2 --profile tiny --shards 4 --port 0
+
+    # one-shot self test: serve, replay 200 events per venue through a
+    # real TCP client, print throughput, shut down
+    python -m repro.serving serve --catalog .snapshots --venue MC \\
+        --profile tiny --shards 2 --port 0 --events 200
+
+``--venue`` accepts a generator name (MC, MC-2, Men, Men-2, CL, CL-2)
+or a path to a venue JSON file written by ``repro.model.save_space``;
+repeat the flag to serve several venues. ``--workers`` bounds the
+number of concurrently served client connections (each connection gets
+one handler thread; request order within a connection is preserved
+end-to-end, so per-venue update/query ordering holds for any single
+client). Venue-less control requests (``ping``/``stats``/``flush``/
+``venues``) are answered by the front door itself; everything else is
+routed to the owning shard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from ..datasets.multi_venue import multi_venue_streams
+from ..datasets.venues import VENUE_NAMES, load_venue
+from ..datasets.workloads import random_objects
+from ..exceptions import ProtocolError, ServingError
+from ..model.io_json import load_space
+from .cluster import ClusterFrontend
+from .shard import _no_delay
+from .protocol import (
+    Request,
+    Response,
+    error_reply,
+    recv_doc,
+    reply_from_doc,
+    reply_to_doc,
+    request_from_doc,
+    request_to_doc,
+    result_to_doc,
+    send_doc,
+)
+
+#: front-door request kinds answered without touching a shard
+_LOCAL_KINDS = ("venues", "ping", "stats", "flush")
+
+
+def _resolve_venue(name: str, profile: str, seed: int | None):
+    if name.endswith(".json"):
+        return load_space(name)
+    return load_venue(name, profile, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Front door: one handler thread per client connection
+# ----------------------------------------------------------------------
+def _handle_local(cluster: ClusterFrontend, names: dict[str, str],
+                  request: Request):
+    if request.kind == "venues":
+        return {"venues": [
+            {"id": vid, "name": names.get(vid, "")}
+            for vid in cluster.venue_ids()
+        ]}
+    if request.kind == "ping":
+        cluster.drain()  # a front-door ping is a cluster-wide barrier
+        return {"ok": True}
+    if request.kind == "stats":
+        stats = asdict(cluster.stats())
+        stats["by_shard"] = {str(k): v for k, v in stats["by_shard"].items()}
+        return stats
+    if request.kind == "flush":
+        return cluster.flush()
+    raise ServingError(f"unhandled local kind {request.kind!r}")
+
+
+def _serve_connection(cluster: ClusterFrontend, names: dict[str, str],
+                      conn: socket.socket) -> None:
+    send_lock = threading.Lock()
+
+    def reply(request_id: int, doc: dict) -> None:
+        try:
+            with send_lock:
+                send_doc(conn, doc)
+        except OSError:
+            pass  # client went away; its shard work still completes
+
+    def on_done(request_id: int, future) -> None:
+        try:
+            value = future.result()
+        except Exception as exc:  # noqa: BLE001 - travels as a reply
+            reply(request_id, reply_to_doc(error_reply(request_id, exc)))
+        else:
+            reply(request_id, reply_to_doc(
+                Response(request_id, result_to_doc(value))))
+
+    try:
+        while True:
+            doc = recv_doc(conn)
+            if doc is None:
+                break
+            request, request_id = request_from_doc(doc)
+            try:
+                if request.venue == "" and request.kind in _LOCAL_KINDS:
+                    value = _handle_local(cluster, names, request)
+                    reply(request_id, reply_to_doc(
+                        Response(request_id, result_to_doc(value))))
+                    continue
+                future = cluster.submit(request)
+            except Exception as exc:  # noqa: BLE001 - travels as a reply
+                reply(request_id, reply_to_doc(error_reply(request_id, exc)))
+                continue
+            future.add_done_callback(
+                lambda f, rid=request_id: on_done(rid, f))
+    except (ProtocolError, OSError):
+        pass  # malformed client / reset: drop the connection
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Self-test client (also the example/CI driver for the CLI)
+# ----------------------------------------------------------------------
+def _self_test(address, venues, events: int, seed: int, window: int = 64) -> int:
+    """Replay ``events`` query events per venue through a real TCP
+    client, pipelining up to ``window`` requests, and print throughput.
+
+    Queries only (``update_ratio=0``): the self test must be safe to
+    run against a pre-existing catalog whose object state has drifted
+    from this process's freshly generated sets.
+    """
+    sock = socket.create_connection(address, timeout=60.0)
+    _no_delay(sock)
+    try:
+        next_id = 0
+
+        def call(request: Request):
+            nonlocal next_id
+            send_doc(sock, request_to_doc(request, next_id))
+            next_id += 1
+            return reply_from_doc(recv_doc(sock))
+
+        listing = call(Request(venue="", kind="venues")).value()
+        print(f"self-test: server lists {len(listing['venues'])} venue(s)")
+
+        streams = multi_venue_streams(
+            [(space, objects) for space, objects, _ in venues],
+            events, update_ratio=0.0, seed=seed,
+        )
+        flat: list[Request] = []
+        for (_, _, vid), stream in zip(venues, streams):
+            flat.extend(Request.from_event(vid, e) for e in stream)
+
+        pending: set[int] = set()
+        failed = 0
+        start = time.perf_counter()
+        for request in flat:
+            while len(pending) >= window:
+                got = reply_from_doc(recv_doc(sock))
+                pending.discard(got.request_id)
+                failed += not isinstance(got, Response)
+            send_doc(sock, request_to_doc(request, next_id))
+            pending.add(next_id)
+            next_id += 1
+        while pending:
+            got = reply_from_doc(recv_doc(sock))
+            pending.discard(got.request_id)
+            failed += not isinstance(got, Response)
+        seconds = time.perf_counter() - start
+
+        stats = call(Request(venue="", kind="stats")).value()
+        print(
+            f"self-test: {len(flat)} events over TCP in {seconds:.3f}s "
+            f"({len(flat) / seconds:,.0f} events/s, window={window}, "
+            f"{failed} failed)"
+        )
+        print(f"self-test: cluster stats {stats}")
+        return 1 if failed else 0
+    finally:
+        sock.close()
+
+
+# ----------------------------------------------------------------------
+def _cmd_serve(args) -> int:
+    catalog = Path(args.catalog)
+    catalog.mkdir(parents=True, exist_ok=True)
+    venues = []
+    names: dict[str, str] = {}
+    with ClusterFrontend(
+        catalog, shards=args.shards, flush_interval=args.flush_interval,
+    ) as cluster:
+        for i, name in enumerate(args.venue):
+            space = _resolve_venue(name, args.profile, args.seed)
+            objects = (random_objects(space, args.objects, seed=args.seed + i)
+                       if args.objects > 0 else None)
+            vid = cluster.add_venue(space, objects=objects)
+            names[vid] = space.name
+            venues.append((space, objects, vid))
+            print(f"registered {space.name!r} -> shard "
+                  f"{cluster.shard_for(vid)} ({vid[:12]})")
+
+        server = socket.create_server(("127.0.0.1", args.port))
+        host, port = server.getsockname()
+        print(f"serving {len(venues)} venue(s) on {host}:{port} "
+              f"({args.shards} shard(s), {args.workers} connection worker(s))")
+
+        stopping = threading.Event()
+        connection_slots = threading.Semaphore(args.workers)
+
+        def handle(conn: socket.socket) -> None:
+            try:
+                _serve_connection(cluster, names, conn)
+            finally:
+                connection_slots.release()
+
+        def accept_loop() -> None:
+            while not stopping.is_set():
+                try:
+                    conn, _ = server.accept()
+                except OSError:
+                    break  # listener closed: shutting down
+                _no_delay(conn)
+                connection_slots.acquire()
+                threading.Thread(target=handle, args=(conn,),
+                                 daemon=True).start()
+
+        acceptor = threading.Thread(target=accept_loop, daemon=True)
+        acceptor.start()
+        try:
+            if args.events > 0:
+                return _self_test((host, port), venues, args.events, args.seed)
+            while acceptor.is_alive():
+                acceptor.join(timeout=1.0)
+            return 0
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            print("shutting down")
+            return 0
+        finally:
+            stopping.set()
+            server.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="serve a snapshot catalog as a sharded cluster over TCP"
+    )
+    serve.add_argument("--catalog", required=True, metavar="DIR",
+                       help="snapshot catalog directory (created if missing)")
+    serve.add_argument("--venue", action="append", default=None,
+                       metavar="NAME",
+                       help=f"venue to serve: one of {', '.join(VENUE_NAMES)} "
+                            "or a venue JSON path; repeatable (default: MC)")
+    serve.add_argument("--profile", default="tiny",
+                       choices=("tiny", "small", "paper"))
+    serve.add_argument("--objects", type=int, default=20,
+                       help="objects per venue on cold build (0: none)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="shard processes (the parallelism)")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="max concurrently served client connections")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0: ephemeral, printed on startup)")
+    serve.add_argument("--flush-interval", type=float, default=30.0,
+                       help="per-shard background flush period in seconds "
+                            "(the durability window; 0 disables)")
+    serve.add_argument("--events", type=int, default=0,
+                       help="self-test mode: replay N query events per venue "
+                            "through a TCP client, print throughput, exit")
+    serve.add_argument("--seed", type=int, default=17)
+    serve.set_defaults(func=_cmd_serve)
+
+    args = parser.parse_args(argv)
+    if getattr(args, "venue", None) in (None, []):
+        args.venue = ["MC"]
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

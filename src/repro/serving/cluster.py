@@ -1,0 +1,363 @@
+"""ClusterFrontend: hash-sharded multi-process serving.
+
+The top layer of the sharded serving stack. A
+:class:`ClusterFrontend` runs N :class:`~repro.serving.shard.
+ShardProcess` workers — each a separate OS process owning a
+:class:`~repro.serving.router.VenueRouter` over the shared snapshot
+catalog — and **hash-partitions venue fingerprints** across them:
+venue ``v`` always lives on shard ``int(v[:16], 16) % shards``.
+Requests are venue-tagged :class:`~repro.serving.protocol.Request`
+objects (the same protocol the in-thread frontend speaks), answered
+through per-request futures; because shards are processes, the
+CPU-bound index math of different venues runs on different cores —
+the scaling CPython's GIL denies to threads
+(``benchmarks/bench_serving.py`` CI-asserts ≥2x single-process
+throughput at 4 shards on the mix threads could not scale).
+
+Operational behavior:
+
+* **Backpressure** — each shard bounds its in-flight window
+  (``max_inflight``); ``submit`` blocks while the target shard is
+  saturated and raises :class:`~repro.exceptions.ServingError` after
+  ``timeout`` seconds.
+* **Crash restart** — a dead shard (crash, kill, framing error) fails
+  its in-flight futures; the next request for one of its venues
+  respawns the process, which **warm-starts from the catalog's
+  snapshots and replays nothing**. Updates applied since the shard's
+  last flush are lost — that is the documented durability window,
+  bounded by the worker's background flush interval (and zero after a
+  graceful drain).
+* **Graceful drain/shutdown** — :meth:`drain` barriers on every shard
+  (workers answer strictly in order, so a drained ping proves
+  everything before it completed); :meth:`shutdown` drains, flushes
+  dirty engines, and joins every worker process.
+
+Thread safety: every public method may be called from any number of
+threads. Venue registration state lives under one cluster mutex; each
+shard has its own restart lock, so a crashed shard's respawn never
+blocks traffic to healthy shards.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from ..exceptions import ServingError
+from ..model.indoor_space import IndoorSpace
+from ..model.io_json import objects_to_dict, space_to_dict
+from ..storage.snapshot import venue_fingerprint
+from .protocol import Request
+from .shard import (
+    DEFAULT_FLUSH_INTERVAL,
+    DEFAULT_MAX_INFLIGHT,
+    ShardProcess,
+)
+
+
+@dataclass(slots=True)
+class ClusterStats:
+    """Point-in-time cluster counters.
+
+    ``submitted`` and ``restarts`` are monotone; ``alive`` counts
+    currently-running shard processes (never started shards are
+    spawned lazily and count as not alive).
+    """
+
+    shards: int = 0
+    alive: int = 0
+    venues: int = 0
+    submitted: int = 0
+    restarts: int = 0
+    #: venue count per shard index
+    by_shard: dict = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class _Registration:
+    """What it takes to (re-)register one venue on its shard."""
+
+    shard: int
+    payload: dict
+
+
+class ClusterFrontend:
+    """Serve many venues across N single-venue-router shard processes.
+
+    Args:
+        catalog_root: snapshot catalog directory shared by all shards —
+            both the warm-start source and the write-back/flush target.
+        shards: number of worker processes (the parallelism).
+        kind: default index kind for :meth:`add_venue`.
+        capacity: per-shard engine-pool bound.
+        flush_interval: per-shard background flush period (seconds);
+            the durability window after a crash. ``0`` disables
+            periodic flushing (graceful shutdown still flushes).
+        max_inflight: per-shard bound on concurrently in-flight
+            requests (the backpressure knob).
+        restart: respawn crashed shards on the next request for one of
+            their venues (on by default; ``False`` turns a crash into a
+            permanent ``ServingError`` for that shard's venues).
+        mp_context: optional :mod:`multiprocessing` context (e.g.
+            ``multiprocessing.get_context("spawn")``).
+
+    Usable as a context manager: ``with ClusterFrontend(...) as c:``
+    pre-spawns every shard and shuts down gracefully on exit.
+    """
+
+    def __init__(
+        self,
+        catalog_root,
+        *,
+        shards: int = 4,
+        kind: str = "VIP-Tree",
+        capacity: int = 8,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        restart: bool = True,
+        mp_context=None,
+    ) -> None:
+        if shards < 1:
+            raise ServingError(f"shards must be >= 1, got {shards}")
+        self.catalog_root = str(catalog_root)
+        self.shards = int(shards)
+        self.default_kind = kind
+        self.capacity = int(capacity)
+        self.flush_interval = float(flush_interval)
+        self.max_inflight = int(max_inflight)
+        self.restart = bool(restart)
+        self._mp_context = mp_context
+        self._handles: list[ShardProcess | None] = [None] * self.shards
+        self._shard_locks = [threading.Lock() for _ in range(self.shards)]
+        self._mutex = threading.Lock()
+        self._registrations: dict[str, _Registration] = {}
+        self._reg_order: list[str] = []
+        self._accepting = True
+        self._submitted = 0
+        self._restarts = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterFrontend":
+        """Pre-spawn every shard process (otherwise lazy per shard)."""
+        for idx in range(self.shards):
+            self._shard(idx)
+        return self
+
+    def __enter__(self) -> "ClusterFrontend":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop intake, drain + flush every shard, join the processes.
+
+        Each live worker answers its ``shutdown`` request only after
+        everything submitted before it, flushes its dirty engines, and
+        exits — so a clean shutdown closes the durability window to
+        zero. Idempotent.
+        """
+        with self._mutex:
+            self._accepting = False
+        for idx in range(self.shards):
+            with self._shard_locks[idx]:
+                handle = self._handles[idx]
+                if handle is not None:
+                    handle.shutdown(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Partitioning & registration
+    # ------------------------------------------------------------------
+    def shard_for(self, venue_id: str) -> int:
+        """The shard index owning ``venue_id`` (hash partitioning).
+
+        Stable for the cluster's lifetime: derived from the leading 64
+        bits of the venue fingerprint, so the same venue always maps to
+        the same shard — across restarts and across processes.
+        """
+        return int(venue_id[:16], 16) % self.shards
+
+    def add_venue(self, space: IndoorSpace, *, kind: str | None = None,
+                  objects=None) -> str:
+        """Register a venue on its shard; returns the venue fingerprint.
+
+        The venue document (and the optional initial object set, used
+        only if the shard cold-builds) travels to the worker over the
+        protocol — a shard needs nothing but the catalog directory.
+        The registration is remembered so a restarted shard re-registers
+        its venues automatically. Idempotent per venue revision.
+        """
+        venue_id = venue_fingerprint(space)
+        payload = {
+            "space": space_to_dict(space),
+            "objects": objects_to_dict(objects) if objects is not None else None,
+            "kind": kind or self.default_kind,
+        }
+        shard = self.shard_for(venue_id)
+        with self._mutex:
+            if not self._accepting:
+                raise ServingError("cluster is shut down")
+            if venue_id not in self._registrations:
+                self._reg_order.append(venue_id)
+            self._registrations[venue_id] = _Registration(shard, payload)
+        echoed = self._shard(shard).call(
+            Request(venue=venue_id, kind="add_venue", payload=payload)
+        )
+        if echoed != venue_id:  # pragma: no cover - codec regression guard
+            raise ServingError(
+                f"shard {shard} registered fingerprint {echoed[:12]!r}, "
+                f"expected {venue_id[:12]!r} — venue document did not "
+                "round-trip canonically"
+            )
+        return venue_id
+
+    def venue_ids(self) -> list[str]:
+        """Registered venue ids, in registration order."""
+        with self._mutex:
+            return list(self._reg_order)
+
+    # ------------------------------------------------------------------
+    # Shard management
+    # ------------------------------------------------------------------
+    def _shard(self, idx: int) -> ShardProcess:
+        """The live handle for shard ``idx``, (re)spawning if needed."""
+        handle = self._handles[idx]
+        if handle is not None and handle.alive:
+            return handle
+        with self._shard_locks[idx]:
+            handle = self._handles[idx]
+            if handle is not None and handle.alive:
+                return handle
+            with self._mutex:
+                if not self._accepting:
+                    raise ServingError("cluster is shut down")
+                crashed = handle is not None
+                if crashed and not self.restart:
+                    raise ServingError(
+                        f"shard {idx} died and restart is disabled"
+                    )
+                if crashed:
+                    self._restarts += 1
+                regs = [
+                    (vid, self._registrations[vid])
+                    for vid in self._reg_order
+                    if self._registrations[vid].shard == idx
+                ]
+            if crashed:
+                handle.kill()  # reap whatever is left of the old process
+            fresh = ShardProcess(
+                self.catalog_root,
+                shard_id=idx,
+                kind=self.default_kind,
+                capacity=self.capacity,
+                flush_interval=self.flush_interval,
+                max_inflight=self.max_inflight,
+                mp_context=self._mp_context,
+            ).start()
+            # Re-register this shard's venues: the worker warm-starts
+            # each from its catalog snapshot — no replay, the snapshot
+            # state *is* the recovery point (durability window).
+            for vid, reg in regs:
+                fresh.call(Request(venue=vid, kind="add_venue",
+                                   payload=reg.payload))
+            self._handles[idx] = fresh
+            return fresh
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, *, timeout: float | None = None) -> Future:
+        """Route one request to its venue's shard; returns its future.
+
+        Blocks while the target shard's in-flight window is full
+        (backpressure); ``timeout`` turns saturation into a
+        :class:`ServingError`. A request hitting a crashed shard
+        triggers the restart (snapshot warm start) before being sent.
+
+        Raises:
+            ServingError: unknown venue id, cluster shut down, dead
+                shard with restart disabled, or backpressure timeout.
+        """
+        with self._mutex:
+            if not self._accepting:
+                raise ServingError("cluster is shut down")
+            reg = self._registrations.get(request.venue)
+        if reg is None:
+            raise ServingError(f"unknown venue id {request.venue[:12]!r}")
+        future = self._shard(reg.shard).submit(request, timeout=timeout)
+        with self._mutex:
+            self._submitted += 1
+        return future
+
+    def request(self, venue: str, kind: str, **fields) -> Future:
+        """Convenience: build a :class:`Request` and submit it."""
+        return self.submit(Request(venue=venue, kind=kind, **fields))
+
+    # ------------------------------------------------------------------
+    # Cluster-wide operations
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Block until every request submitted *so far* has completed.
+
+        Workers answer strictly in order, so one ``ping`` per live
+        shard is a complete barrier. Concurrent submitters may keep
+        shards busy past this call — drain is a point-in-time barrier,
+        not an intake stop (that is :meth:`shutdown`).
+        """
+        for handle in list(self._handles):
+            if handle is not None and handle.alive:
+                handle.call(Request(venue="", kind="ping"))
+
+    def flush(self) -> int:
+        """Flush dirty engines on every live shard; returns snapshots
+        written. Closes the durability window at the moment of the
+        call (new updates re-open it until the next flush)."""
+        written = 0
+        for handle in list(self._handles):
+            if handle is not None and handle.alive:
+                written += handle.call(Request(venue="", kind="flush"))
+        return written
+
+    def stats(self) -> ClusterStats:
+        """Local cluster counters (no worker round-trips — see
+        :meth:`shard_stats` for the workers' own view)."""
+        with self._mutex:
+            by_shard: dict[int, int] = {}
+            for reg in self._registrations.values():
+                by_shard[reg.shard] = by_shard.get(reg.shard, 0) + 1
+            return ClusterStats(
+                shards=self.shards,
+                alive=sum(1 for h in self._handles if h is not None and h.alive),
+                venues=len(self._registrations),
+                submitted=self._submitted,
+                restarts=self._restarts,
+                by_shard=by_shard,
+            )
+
+    def shard_stats(self) -> list[dict]:
+        """Each live shard's own stats document (pid, request counts,
+        router counters, flusher progress), via a ``stats`` request."""
+        out = []
+        for handle in list(self._handles):
+            if handle is not None and handle.alive:
+                out.append(handle.call(Request(venue="", kind="stats")))
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Shard-process count — the cluster's parallelism. Named for
+        drop-in use where a :class:`ServingFrontend` is expected
+        (:func:`~repro.serving.replay.concurrent_replay` reports it)."""
+        return self.shards
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"ClusterFrontend(shards={s.alive}/{s.shards}, "
+            f"venues={s.venues}, submitted={s.submitted}, "
+            f"restarts={s.restarts})"
+        )

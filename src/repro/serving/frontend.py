@@ -1,11 +1,16 @@
-"""ServingFrontend: a worker-thread pool over a bounded request queue.
+"""ServingFrontend: the in-thread transport of the serving protocol.
 
-The frontend is the process-level entry point of the serving layer:
+The frontend is the single-process entry point of the serving layer:
 callers :meth:`~ServingFrontend.submit` venue-tagged
-:class:`~repro.serving.router.ServingRequest` objects and receive a
+:class:`~repro.serving.protocol.Request` objects (the *same* request
+shape the shard-socket and cluster transports speak) and receive a
 :class:`concurrent.futures.Future` per request; a fixed pool of worker
 threads drains the queue through
 :meth:`VenueRouter.execute <repro.serving.router.VenueRouter.execute>`.
+Nothing is serialized on this path — requests stay in-process — but
+because the protocol round-trips losslessly, swapping this frontend
+for a :class:`~repro.serving.cluster.ClusterFrontend` changes the
+transport, not the answers.
 
 Design points:
 

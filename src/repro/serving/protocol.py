@@ -1,0 +1,412 @@
+"""Serving protocol: serializable requests/responses + wire codec.
+
+Every serving transport — the in-thread
+:class:`~repro.serving.frontend.ServingFrontend`, a
+:class:`~repro.serving.shard.ShardWorker` process behind a socket, and
+the multi-process :class:`~repro.serving.cluster.ClusterFrontend` —
+speaks the same protocol defined here:
+
+* :class:`Request` — one venue-tagged query/update/control operation
+  (this *is* the ``ServingRequest`` the router dispatches; the name
+  ``ServingRequest`` remains exported for compatibility),
+* :class:`Response` / :class:`ErrorResponse` — the success/failure
+  reply envelopes, carrying a typed result document or an exception,
+* the **wire codec** — every frame is a 4-byte big-endian length prefix
+  followed by a canonical-JSON document
+  (:func:`~repro.model.io_json.canonical_dumps`: sorted keys, shortest
+  round-trip floats), so frames are deterministic byte-for-byte and
+  floats survive the wire bit-exactly. Bulk numerics inside results
+  (kNN/range neighbor lists, path door sequences, distances) are packed
+  through :mod:`repro.model.packing` — the same base64 little-endian
+  encoding snapshots use — which keeps them bit-exact *and* cheap to
+  parse.
+
+Because requests and responses round-trip losslessly, a query answered
+over a socket is **element-wise identical** to the same query answered
+in-process — the property ``benchmarks/bench_serving.py`` CI-asserts
+for the sharded cluster. :func:`result_to_doc` doubles as the canonical
+normal form for comparing answers across transports (in-process results
+carry populated :class:`~repro.core.results.QueryStats`, decoded ones a
+fresh default; the doc form strips exactly that).
+
+Framing errors raise :class:`~repro.exceptions.ProtocolError`:
+oversized frames (declared length beyond the reader's limit) and
+truncated frames (peer closed mid-frame) are fatal for the connection.
+A clean EOF *between* frames is not an error — :func:`recv_doc`
+returns ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+
+from ..core.results import Neighbor, PathResult
+from ..exceptions import (
+    ProtocolError,
+    QueryError,
+    ReproError,
+    ServingError,
+    SnapshotError,
+    VenueError,
+)
+from ..model.entities import IndoorPoint
+from ..model.io_json import canonical_dumps
+from ..model.objects import UpdateOp
+from ..model.packing import pack_f64, pack_i64, unpack_f64, unpack_i64
+
+#: engine-backed request kinds (dispatched by ``VenueRouter.execute``)
+QUERY_KINDS = ("distance", "path", "knn", "range", "update")
+#: worker-level control kinds (handled by ``ShardWorker``/cluster, not
+#: by an engine). ``crash`` is a fault-injection hook: the worker
+#: process exits immediately without flushing — tests use it to prove
+#: restart + durability-window behavior.
+CONTROL_KINDS = ("add_venue", "ping", "stats", "flush", "shutdown", "crash")
+#: every kind a protocol request may carry
+REQUEST_KINDS = QUERY_KINDS + CONTROL_KINDS
+
+#: default ceiling on one frame's payload (requests and responses are
+#: small; venue documents — ``add_venue`` — are the largest legitimate
+#: frames and stay far below this)
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+_HEADER = struct.Struct("!I")
+
+
+@dataclass(slots=True, frozen=True)
+class Request:
+    """One serving operation: a venue id plus the operation payload.
+
+    This is the single request shape behind *every* transport. ``kind``
+    selects which fields matter — exactly like
+    :class:`~repro.datasets.workloads.MixedQuery`, plus updates and
+    worker control:
+
+    * ``distance`` / ``path`` — ``source`` and ``target``,
+    * ``knn`` — ``source`` and ``k``,
+    * ``range`` — ``source`` and ``radius``,
+    * ``update`` — ``op`` (an :class:`~repro.model.objects.UpdateOp`),
+    * control kinds (:data:`CONTROL_KINDS`) — ``payload`` (a JSON-safe
+      dict; e.g. ``add_venue`` carries the venue document).
+
+    Instances are frozen (safe to share across threads) and serialize
+    losslessly through :func:`request_to_doc` / :func:`request_from_doc`.
+    """
+
+    venue: str
+    kind: str
+    source: IndoorPoint | None = None
+    target: IndoorPoint | None = None
+    k: int = 0
+    radius: float = 0.0
+    op: UpdateOp | None = None
+    payload: dict | None = None
+
+    @classmethod
+    def from_event(cls, venue: str, event) -> "Request":
+        """Wrap one workload event — a
+        :class:`~repro.datasets.workloads.MixedQuery` or an
+        :class:`~repro.model.objects.UpdateOp` — for ``venue``."""
+        if isinstance(event, UpdateOp):
+            return cls(venue=venue, kind="update", op=event)
+        return cls(
+            venue=venue,
+            kind=event.kind,
+            source=event.source,
+            target=event.target,
+            k=event.k,
+            radius=event.radius,
+        )
+
+
+@dataclass(slots=True, frozen=True)
+class Response:
+    """A successful reply: the request id plus its result document."""
+
+    request_id: int
+    result: dict
+
+    def value(self):
+        """Decode the result document back into the in-process value."""
+        return result_from_doc(self.result)
+
+
+@dataclass(slots=True, frozen=True)
+class ErrorResponse:
+    """A failed reply: the request id plus the exception it carries."""
+
+    request_id: int
+    error: str
+    message: str
+
+    def exception(self) -> Exception:
+        """Materialize the carried exception (known repro types keep
+        their class; anything else arrives as a
+        :class:`~repro.exceptions.ServingError`)."""
+        cls = _ERROR_TYPES.get(self.error)
+        if cls is not None:
+            return cls(self.message)
+        return ServingError(f"{self.error}: {self.message}")
+
+
+#: exception classes reconstructed by name on the client side — every
+#: other error type degrades to ServingError with its name prefixed
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    cls.__name__: cls
+    for cls in (
+        ProtocolError, QueryError, ReproError, ServingError, SnapshotError,
+        VenueError, ValueError, KeyError, TypeError,
+    )
+}
+
+
+# ----------------------------------------------------------------------
+# Value codecs
+# ----------------------------------------------------------------------
+def _point_to_doc(point: IndoorPoint | None):
+    if point is None:
+        return None
+    return [point.partition_id, point.x, point.y]
+
+
+def _point_from_doc(doc) -> IndoorPoint | None:
+    if doc is None:
+        return None
+    return IndoorPoint(int(doc[0]), float(doc[1]), float(doc[2]))
+
+
+def _op_to_doc(op: UpdateOp | None):
+    if op is None:
+        return None
+    return {
+        "kind": op.kind,
+        "object_id": op.object_id,
+        "location": _point_to_doc(op.location),
+        "label": op.label,
+        "category": op.category,
+    }
+
+
+def _op_from_doc(doc) -> UpdateOp | None:
+    if doc is None:
+        return None
+    return UpdateOp(
+        kind=doc["kind"],
+        object_id=doc["object_id"],
+        location=_point_from_doc(doc["location"]),
+        label=doc.get("label", ""),
+        category=doc.get("category", ""),
+    )
+
+
+def request_to_doc(request: Request, request_id: int) -> dict:
+    """The request's wire document (JSON-safe, canonical-encodable)."""
+    return {
+        "id": int(request_id),
+        "venue": request.venue,
+        "kind": request.kind,
+        "source": _point_to_doc(request.source),
+        "target": _point_to_doc(request.target),
+        "k": request.k,
+        "radius": request.radius,
+        "op": _op_to_doc(request.op),
+        "payload": request.payload,
+    }
+
+
+def request_from_doc(doc: dict) -> tuple[Request, int]:
+    """``(request, request_id)`` decoded from a wire document."""
+    try:
+        return Request(
+            venue=doc["venue"],
+            kind=doc["kind"],
+            source=_point_from_doc(doc.get("source")),
+            target=_point_from_doc(doc.get("target")),
+            k=int(doc.get("k", 0)),
+            radius=float(doc.get("radius", 0.0)),
+            op=_op_from_doc(doc.get("op")),
+            payload=doc.get("payload"),
+        ), int(doc["id"])
+    except (KeyError, TypeError, IndexError, ValueError) as exc:
+        raise ProtocolError(f"malformed request document: {exc!r}") from None
+
+
+def result_to_doc(value) -> dict:
+    """Encode one engine/worker result as a typed wire document.
+
+    Covers every value the serving surface produces: ``None``, bools,
+    ints (update ids), floats (distances — packed bit-exactly),
+    strings (venue ids), :class:`PathResult`, ``list[Neighbor]``
+    (kNN/range) and JSON-safe dicts (stats/health documents). Doubles
+    as the canonical normal form for cross-transport answer comparison
+    (it deliberately drops :class:`~repro.core.results.QueryStats`,
+    which describe the work done, not the answer).
+    """
+    if value is None:
+        return {"t": "none"}
+    if isinstance(value, bool):
+        return {"t": "bool", "v": value}
+    if isinstance(value, int):
+        return {"t": "int", "v": value}
+    if isinstance(value, float):
+        return {"t": "f64", "v": pack_f64([value])}
+    if isinstance(value, str):
+        return {"t": "str", "v": value}
+    if isinstance(value, PathResult):
+        return {
+            "t": "path",
+            "distance": pack_f64([value.distance]),
+            "doors": pack_i64(value.doors),
+        }
+    if isinstance(value, list) and all(isinstance(n, Neighbor) for n in value):
+        return {
+            "t": "neighbors",
+            "ids": pack_i64([n.object_id for n in value]),
+            "distances": pack_f64([n.distance for n in value]),
+        }
+    if isinstance(value, dict):
+        return {"t": "json", "v": value}
+    raise ProtocolError(f"unencodable result type {type(value).__name__}")
+
+
+def result_from_doc(doc: dict):
+    """Decode a :func:`result_to_doc` document back into its value."""
+    try:
+        t = doc["t"]
+        if t == "none":
+            return None
+        if t in ("bool", "int", "str", "json"):
+            return doc["v"]
+        if t == "f64":
+            return unpack_f64(doc["v"])[0]
+        if t == "path":
+            return PathResult(
+                distance=unpack_f64(doc["distance"])[0],
+                doors=unpack_i64(doc["doors"]),
+            )
+        if t == "neighbors":
+            return [
+                Neighbor(object_id=oid, distance=d)
+                for oid, d in zip(unpack_i64(doc["ids"]),
+                                  unpack_f64(doc["distances"]))
+            ]
+    # ValueError covers corrupt packed numerics (binascii/struct)
+    except (KeyError, TypeError, IndexError, ValueError) as exc:
+        raise ProtocolError(f"malformed result document: {exc!r}") from None
+    raise ProtocolError(f"unknown result type tag {t!r}")
+
+
+def reply_to_doc(reply: Response | ErrorResponse) -> dict:
+    """The reply's wire document (success and failure envelopes)."""
+    if isinstance(reply, Response):
+        return {"id": reply.request_id, "ok": True, "result": reply.result}
+    return {
+        "id": reply.request_id,
+        "ok": False,
+        "error": reply.error,
+        "message": reply.message,
+    }
+
+
+def reply_from_doc(doc: dict) -> Response | ErrorResponse:
+    try:
+        if doc["ok"]:
+            return Response(request_id=int(doc["id"]), result=doc["result"])
+        return ErrorResponse(
+            request_id=int(doc["id"]),
+            error=doc["error"],
+            message=doc["message"],
+        )
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed reply document: {exc!r}") from None
+
+
+def error_reply(request_id: int, exc: BaseException) -> ErrorResponse:
+    """Wrap an exception for the wire (class name + message)."""
+    return ErrorResponse(
+        request_id=request_id,
+        error=type(exc).__name__,
+        message=str(exc),
+    )
+
+
+# ----------------------------------------------------------------------
+# Wire framing
+# ----------------------------------------------------------------------
+def encode_frame(doc: dict, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """``length-prefix + canonical JSON`` bytes for one document.
+
+    Raises:
+        ProtocolError: the encoded payload exceeds ``max_bytes`` (the
+            peer would refuse it — fail on the sending side instead).
+    """
+    payload = canonical_dumps(doc).encode("utf-8")
+    if len(payload) > max_bytes:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_bytes}-byte frame limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict:
+    """Parse one frame payload (the bytes after the length prefix)."""
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(doc).__name__}"
+        )
+    return doc
+
+
+def send_doc(sock, doc: dict, *, max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Write one framed document to a connected socket."""
+    sock.sendall(encode_frame(doc, max_bytes=max_bytes))
+
+
+def _recv_exact(sock, n: int) -> bytes:
+    """Read exactly ``n`` bytes; a short read (peer closed) returns
+    whatever arrived — the caller decides whether that is a clean EOF
+    or a truncated frame."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            break
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_doc(sock, *, max_bytes: int = MAX_FRAME_BYTES) -> dict | None:
+    """Read one framed document; ``None`` on clean EOF between frames.
+
+    Raises:
+        ProtocolError: truncated frame (EOF inside the header or the
+            payload) or a declared length above ``max_bytes``.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise ProtocolError(
+            f"truncated frame: connection closed after {len(header)} of "
+            f"{_HEADER.size} header bytes"
+        )
+    (length,) = _HEADER.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"oversized frame: declared payload of {length} bytes exceeds "
+            f"the {max_bytes}-byte frame limit"
+        )
+    payload = _recv_exact(sock, length)
+    if len(payload) < length:
+        raise ProtocolError(
+            f"truncated frame: connection closed after {len(payload)} of "
+            f"{length} payload bytes"
+        )
+    return decode_frame(payload)

@@ -9,9 +9,13 @@ or :class:`~repro.model.objects.UpdateOp`, e.g. from
   strictly in stream order through ``router.execute``. The correctness
   baseline.
 * :func:`concurrent_replay` — one submitter thread per venue feeding a
-  :class:`~repro.serving.frontend.ServingFrontend`; all venues are in
-  flight at once, queries of one update-free block are in flight
-  concurrently.
+  frontend; all venues are in flight at once, queries of one
+  update-free block are in flight concurrently. The frontend may be an
+  in-thread :class:`~repro.serving.frontend.ServingFrontend` *or* a
+  multi-process :class:`~repro.serving.cluster.ClusterFrontend`
+  (cluster mode) — both expose ``submit``/``workers``, and the
+  equivalence guarantee below holds for both, because the wire
+  protocol round-trips answers bit-exactly.
 
 **Equivalence guarantee.** Concurrent replay returns element-wise
 identical answers to sequential replay, because the only events whose
@@ -137,7 +141,7 @@ def _submit_venue(
 
 
 def concurrent_replay(
-    frontend: ServingFrontend, streams: dict[str, list]
+    frontend, streams: dict[str, list]
 ) -> tuple[dict[str, list], ServingReport]:
     """Replay all venues concurrently through a serving frontend.
 
@@ -146,9 +150,15 @@ def concurrent_replay(
     the returned answers are element-wise identical to
     :func:`sequential_replay` over the same streams and initial state.
 
-    The frontend must be started; it is left running (callers own its
-    lifecycle). Raises the first request's exception if any event
-    failed.
+    ``frontend`` is anything with ``submit(request) -> Future`` and a
+    ``workers`` attribute — an in-thread
+    :class:`~repro.serving.frontend.ServingFrontend` or a sharded
+    :class:`~repro.serving.cluster.ClusterFrontend` (**cluster mode**:
+    same streams, N processes; compare answers through
+    :func:`~repro.serving.protocol.result_to_doc`, which strips the
+    per-transport ``QueryStats``). The frontend must be started; it is
+    left running (callers own its lifecycle). Raises the first
+    request's exception if any event failed.
     """
     queries, updates, by_venue = _count(streams)
     slots: dict[str, list] = {venue: [None] * len(stream) for venue, stream in streams.items()}

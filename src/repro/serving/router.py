@@ -33,60 +33,27 @@ deadlock-free.
 
 from __future__ import annotations
 
+import random
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..engine.engine import QueryEngine
 from ..exceptions import ServingError
-from ..model.entities import IndoorPoint
 from ..model.indoor_space import IndoorSpace
-from ..model.objects import UpdateOp
 from ..storage.catalog import SnapshotCatalog
 from ..storage.snapshot import venue_fingerprint
+from .protocol import QUERY_KINDS, Request
 
-#: request kinds the router dispatches (mirrors the engine API)
-REQUEST_KINDS = ("distance", "path", "knn", "range", "update")
+#: request kinds the router dispatches (mirrors the engine API).
+#: Control kinds (:data:`repro.serving.protocol.CONTROL_KINDS`) are
+#: handled one layer up, by the shard worker / cluster.
+REQUEST_KINDS = QUERY_KINDS
 
-
-@dataclass(slots=True, frozen=True)
-class ServingRequest:
-    """One routed request: a venue id plus the query/update payload.
-
-    ``kind`` selects which fields matter — exactly like
-    :class:`~repro.datasets.workloads.MixedQuery`, plus ``update``:
-
-    * ``distance`` / ``path`` — ``source`` and ``target``,
-    * ``knn`` — ``source`` and ``k``,
-    * ``range`` — ``source`` and ``radius``,
-    * ``update`` — ``op`` (an :class:`~repro.model.objects.UpdateOp`).
-
-    Instances are frozen (safe to share across threads).
-    """
-
-    venue: str
-    kind: str
-    source: IndoorPoint | None = None
-    target: IndoorPoint | None = None
-    k: int = 0
-    radius: float = 0.0
-    op: UpdateOp | None = None
-
-    @classmethod
-    def from_event(cls, venue: str, event) -> "ServingRequest":
-        """Wrap one workload event — a
-        :class:`~repro.datasets.workloads.MixedQuery` or an
-        :class:`~repro.model.objects.UpdateOp` — for ``venue``."""
-        if isinstance(event, UpdateOp):
-            return cls(venue=venue, kind="update", op=event)
-        return cls(
-            venue=venue,
-            kind=event.kind,
-            source=event.source,
-            target=event.target,
-            k=event.k,
-            radius=event.radius,
-        )
+#: The router's request shape *is* the serving protocol's
+#: :class:`~repro.serving.protocol.Request` — one request object drives
+#: the in-thread frontend, the shard socket transport, and the cluster.
+ServingRequest = Request
 
 
 @dataclass(slots=True)
@@ -156,6 +123,7 @@ class VenueRouter:
         #: update count already persisted per venue — write-back and
         #: flush() only re-serialize engines dirty since their last save
         self._saved_updates: dict[str, int] = {}
+        self._flusher: PeriodicFlusher | None = None
 
     # ------------------------------------------------------------------
     # Registration
@@ -369,6 +337,44 @@ class VenueRouter:
                     self._write_backs += 1
         return written
 
+    # ------------------------------------------------------------------
+    # Background durability
+    # ------------------------------------------------------------------
+    def start_auto_flush(
+        self, interval: float = 30.0, *, jitter: float = 0.1,
+        seed: int | None = None,
+    ) -> "PeriodicFlusher":
+        """Start (or return) this router's background periodic flusher.
+
+        A daemon :class:`PeriodicFlusher` thread calls :meth:`flush`
+        every ``interval`` seconds (randomized by ``±jitter`` so a
+        fleet of routers/shards started together does not flush in
+        lock-step). Idempotent while a flusher is running; a stopped
+        flusher is replaced. This bounds the durability window of the
+        serving layer: after a crash, at most one interval's worth of
+        updates has not been written back to the catalog.
+
+        Thread safety: safe from any thread.
+        """
+        with self._mutex:
+            if self._flusher is not None and self._flusher.running:
+                return self._flusher
+            flusher = PeriodicFlusher(self, interval, jitter=jitter, seed=seed)
+            self._flusher = flusher
+        flusher.start()
+        return flusher
+
+    def stop_auto_flush(self) -> None:
+        """Stop the background flusher, if one is running (idempotent).
+
+        Blocks until the flusher thread has exited — a flush already in
+        progress completes first.
+        """
+        with self._mutex:
+            flusher, self._flusher = self._flusher, None
+        if flusher is not None:
+            flusher.stop()
+
     def stats(self) -> RouterStats:
         """A consistent snapshot of router counters.
 
@@ -391,4 +397,96 @@ class VenueRouter:
         return (
             f"VenueRouter(venues={s.venues}, pooled={s.pooled}/"
             f"{self.capacity or '∞'}, requests={s.requests})"
+        )
+
+
+class PeriodicFlusher:
+    """Background durability: a daemon thread flushing a router.
+
+    Calls ``router.flush()`` every ``interval`` seconds, each cycle's
+    sleep randomized to ``interval * (1 ± jitter)`` so many flushers
+    started together (one per shard process) spread their catalog
+    writes instead of stampeding. :meth:`~VenueRouter.flush` is a no-op
+    for engines that have not been updated since their last save, so an
+    idle flusher costs one counter comparison per pooled engine per
+    cycle.
+
+    A flush that raises (e.g. the catalog directory became unwritable)
+    is recorded in :attr:`last_error` and counted in :attr:`errors`;
+    the thread keeps running — transient I/O failures must not silently
+    end durability.
+
+    Prefer :meth:`VenueRouter.start_auto_flush` over constructing this
+    directly. :meth:`stop` is idempotent and joins the thread, letting
+    an in-progress flush finish.
+    """
+
+    def __init__(self, router: VenueRouter, interval: float = 30.0, *,
+                 jitter: float = 0.1, seed: int | None = None) -> None:
+        if interval <= 0:
+            raise ServingError(f"flush interval must be > 0, got {interval}")
+        if not 0.0 <= jitter < 1.0:
+            raise ServingError(f"jitter must be in [0, 1), got {jitter}")
+        self.router = router
+        self.interval = float(interval)
+        self.jitter = float(jitter)
+        self._rng = random.Random(seed)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: completed flush cycles (including no-op ones)
+        self.cycles = 0
+        #: snapshots written across all cycles
+        self.written = 0
+        #: flush cycles that raised
+        self.errors = 0
+        #: the most recent flush exception, if any
+        self.last_error: BaseException | None = None
+
+    @property
+    def running(self) -> bool:
+        """``True`` from construction until :meth:`stop`."""
+        return not self._stop.is_set()
+
+    def start(self) -> "PeriodicFlusher":
+        """Start the daemon thread (idempotent until :meth:`stop`)."""
+        if self._thread is None and not self._stop.is_set():
+            self._thread = threading.Thread(
+                target=self._run, name="router-flusher", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, *, final_flush: bool = False) -> None:
+        """Stop and join the thread; optionally flush once more.
+
+        ``final_flush=True`` runs one last synchronous ``flush()``
+        after the thread exits — what a shard worker does on graceful
+        drain so the durability window closes at zero.
+        """
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join()
+        if final_flush:
+            self.written += self.router.flush()
+            self.cycles += 1
+
+    def _delay(self) -> float:
+        return self.interval * (1.0 + self._rng.uniform(-self.jitter, self.jitter))
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._delay()):
+            try:
+                self.written += self.router.flush()
+            except BaseException as exc:  # noqa: BLE001 - keep flushing
+                self.errors += 1
+                self.last_error = exc
+            finally:
+                self.cycles += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self.running else "stopped"
+        return (
+            f"PeriodicFlusher({state}, interval={self.interval:g}s, "
+            f"cycles={self.cycles}, written={self.written})"
         )

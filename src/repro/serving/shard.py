@@ -1,0 +1,469 @@
+"""Shard worker: one process owning a VenueRouter behind a socket.
+
+The worker layer of the sharded serving stack. A
+:class:`ShardWorker` runs inside a **child process**, owns a
+:class:`~repro.serving.router.VenueRouter` over (a subset of) a
+snapshot catalog, and serves the wire protocol of
+:mod:`repro.serving.protocol` over one connected socket. Because each
+shard is a separate process with its own interpreter, the CPU-bound
+index math of different shards runs truly in parallel — the scaling
+the GIL denies to the in-thread :class:`ServingFrontend`.
+
+:class:`ShardProcess` is the **parent-side handle**: it spawns the
+child, connects the socket, and multiplexes concurrent requests over
+it — each request gets a wire id and a
+:class:`~concurrent.futures.Future`; a reader thread matches replies
+(the worker answers strictly in order, ids make the pairing robust)
+and a bounded in-flight window (``max_inflight``) provides
+backpressure exactly like the frontend's bounded queue.
+
+Lifecycle and durability:
+
+* venues are registered over the wire (``add_venue`` requests carry
+  the venue document), so a shard starts empty and needs nothing but
+  the catalog directory — which is also everything a *restarted* shard
+  needs: it warm-starts from the snapshots, replaying nothing,
+* the worker runs a background :class:`~repro.serving.router.
+  PeriodicFlusher` by default (interval + jitter, stoppable), and
+  flushes dirty engines once more on graceful drain/shutdown — so the
+  **durability window** is at most one flush interval of updates, zero
+  after a clean drain,
+* a ``crash`` request makes the worker exit immediately *without*
+  flushing (fault injection: tests use it to prove restart behavior
+  and the documented durability window),
+* when the connection drops or the process dies, the handle fails
+  every in-flight future with :class:`~repro.exceptions.ServingError`
+  — the cluster layer restarts the shard and callers retry.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import asdict
+
+from ..exceptions import ProtocolError, ServingError
+from ..model.io_json import objects_from_dict, space_from_dict
+from ..storage.catalog import SnapshotCatalog
+from .protocol import (
+    CONTROL_KINDS,
+    Request,
+    Response,
+    encode_frame,
+    error_reply,
+    recv_doc,
+    reply_from_doc,
+    reply_to_doc,
+    request_from_doc,
+    request_to_doc,
+    result_to_doc,
+    send_doc,
+)
+from .router import VenueRouter
+
+#: default background flush interval for shard workers (seconds)
+DEFAULT_FLUSH_INTERVAL = 30.0
+#: default bound on concurrently in-flight requests per shard handle
+DEFAULT_MAX_INFLIGHT = 128
+#: how long the parent waits for a spawned shard to connect (seconds)
+_CONNECT_TIMEOUT = 60.0
+
+
+class ShardWorker:
+    """The child-process side: a venue router serving the wire protocol.
+
+    Args:
+        catalog_root: snapshot catalog directory this shard warm-starts
+            its venues from (and flushes updated object state back to).
+        shard_id: this shard's index (diagnostics only).
+        kind: default index kind for venues registered without one.
+        capacity: engine-pool bound of the underlying router.
+        flush_interval: background flush period in seconds; ``0``
+            disables the periodic flusher (a graceful shutdown still
+            flushes).
+
+    Single-threaded by design: one shard process serves one request at
+    a time, and CPU parallelism comes from running many shard
+    processes. The worker therefore needs no locking of its own — the
+    router/engine stack below is thread-safe anyway.
+    """
+
+    def __init__(
+        self,
+        catalog_root,
+        *,
+        shard_id: int = 0,
+        kind: str = "VIP-Tree",
+        capacity: int = 8,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.router = VenueRouter(SnapshotCatalog(catalog_root), capacity=capacity,
+                                  kind=kind)
+        self.requests = 0
+        self._flusher = (
+            self.router.start_auto_flush(flush_interval, seed=shard_id)
+            if flush_interval > 0 else None
+        )
+
+    # ------------------------------------------------------------------
+    def handle(self, request: Request):
+        """Execute one protocol request, returning its result value.
+
+        Query/update kinds go to the router; control kinds are handled
+        here. Raises on failure — the serve loop turns exceptions into
+        :class:`~repro.serving.protocol.ErrorResponse` frames.
+        """
+        self.requests += 1
+        kind = request.kind
+        if kind not in CONTROL_KINDS:
+            return self.router.execute(request)
+        if kind == "add_venue":
+            payload = request.payload or {}
+            if "space" not in payload:
+                raise ProtocolError("add_venue request carries no venue document")
+            space = space_from_dict(payload["space"])
+            objects_doc = payload.get("objects")
+            objects = objects_from_dict(objects_doc) if objects_doc else None
+            return self.router.add_venue(space, kind=payload.get("kind"),
+                                         objects=objects)
+        if kind == "ping":
+            return {"shard": self.shard_id, "pid": os.getpid(),
+                    "venues": len(self.router.venue_ids())}
+        if kind == "stats":
+            flusher = self._flusher
+            return {
+                "shard": self.shard_id,
+                "pid": os.getpid(),
+                "requests": self.requests,
+                "router": asdict(self.router.stats()),
+                "flusher": None if flusher is None else {
+                    "interval": flusher.interval,
+                    "cycles": flusher.cycles,
+                    "written": flusher.written,
+                    "errors": flusher.errors,
+                },
+            }
+        if kind == "flush":
+            return self.router.flush()
+        if kind == "shutdown":
+            return self.router.flush()
+        raise ServingError(f"control kind {kind!r} not servable by a shard")
+
+    def serve(self, sock) -> None:
+        """Serve framed requests on ``sock`` until EOF or ``shutdown``.
+
+        Every decodable request gets exactly one reply (success or
+        error); framing errors are fatal for the connection — the
+        parent treats them like a crash. On exit the worker stops its
+        flusher and flushes dirty engines one final time, so a graceful
+        drain loses nothing.
+        """
+        try:
+            while True:
+                doc = recv_doc(sock)
+                if doc is None:
+                    break
+                request, request_id = request_from_doc(doc)
+                if request.kind == "crash":
+                    # Fault injection: die *without* flushing, exactly
+                    # like a SIGKILL — the durability window applies.
+                    os._exit(2)
+                try:
+                    value = self.handle(request)
+                    reply = Response(request_id, result_to_doc(value))
+                except Exception as exc:  # noqa: BLE001 - travels as a reply
+                    reply = error_reply(request_id, exc)
+                send_doc(sock, reply_to_doc(reply))
+                if request.kind == "shutdown":
+                    break
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Stop the flusher and flush dirty engines (idempotent)."""
+        if self._flusher is not None:
+            self._flusher.stop()
+            self._flusher = None
+        self.router.flush()
+
+
+def _no_delay(sock: socket.socket) -> None:
+    """Disable Nagle: protocol frames are small and latency-critical —
+    batching them behind delayed ACKs costs ~40ms stalls per exchange,
+    which would swamp the index math the cluster exists to parallelize."""
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+
+def _shard_entry(port: int, catalog_root: str, shard_id: int, kind: str,
+                 capacity: int, flush_interval: float) -> None:
+    """Child-process entry point: connect back to the parent and serve."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=_CONNECT_TIMEOUT)
+    sock.settimeout(None)  # the timeout is for the connect, not the serve
+    _no_delay(sock)
+    try:
+        worker = ShardWorker(
+            catalog_root, shard_id=shard_id, kind=kind, capacity=capacity,
+            flush_interval=flush_interval,
+        )
+        worker.serve(sock)
+    finally:
+        sock.close()
+
+
+class ShardProcess:
+    """Parent-side handle: spawn a shard process and multiplex requests.
+
+    :meth:`submit` assigns each request a wire id, registers a
+    :class:`Future`, and writes the frame; a daemon reader thread
+    resolves futures as replies arrive. A bounded semaphore caps the
+    in-flight window (**backpressure**): ``submit`` blocks while the
+    shard is ``max_inflight`` requests behind and raises
+    :class:`~repro.exceptions.ServingError` after ``timeout`` seconds.
+
+    When the connection dies — worker crash, kill, or framing error —
+    every in-flight future fails with ``ServingError`` and the handle
+    goes permanently dead (:attr:`alive` is ``False``); restarting
+    means creating a fresh handle, which the
+    :class:`~repro.serving.cluster.ClusterFrontend` does automatically.
+
+    Thread safety: ``submit``/``call`` are safe from any number of
+    threads (one send lock serializes frame writes; ids and the pending
+    table live under a state lock).
+    """
+
+    def __init__(
+        self,
+        catalog_root,
+        *,
+        shard_id: int = 0,
+        kind: str = "VIP-Tree",
+        capacity: int = 8,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        mp_context=None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServingError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.catalog_root = str(catalog_root)
+        self.shard_id = int(shard_id)
+        self.kind = kind
+        self.capacity = int(capacity)
+        self.flush_interval = float(flush_interval)
+        self.max_inflight = int(max_inflight)
+        self._mp_context = mp_context
+        self.process = None
+        self._sock: socket.socket | None = None
+        self._reader: threading.Thread | None = None
+        self._send_lock = threading.Lock()
+        self._state = threading.Lock()
+        self._pending: dict[int, Future] = {}
+        self._next_id = 0
+        self._sem = threading.Semaphore(self.max_inflight)
+        self._alive = False
+        self._death_reason: str | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardProcess":
+        """Spawn the worker process and accept its connection."""
+        if self.process is not None:
+            raise ServingError(
+                f"shard {self.shard_id} already started; restart means a new handle"
+            )
+        import multiprocessing
+
+        ctx = self._mp_context or multiprocessing.get_context()
+        listener = socket.create_server(("127.0.0.1", 0))
+        try:
+            port = listener.getsockname()[1]
+            self.process = ctx.Process(
+                target=_shard_entry,
+                args=(port, self.catalog_root, self.shard_id, self.kind,
+                      self.capacity, self.flush_interval),
+                name=f"repro-shard-{self.shard_id}",
+                daemon=True,
+            )
+            self.process.start()
+            listener.settimeout(_CONNECT_TIMEOUT)
+            self._sock, _ = listener.accept()
+            _no_delay(self._sock)
+        finally:
+            listener.close()
+        self._alive = True
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"shard-{self.shard_id}-reader",
+            daemon=True,
+        )
+        self._reader.start()
+        return self
+
+    @property
+    def alive(self) -> bool:
+        """Connection up *and* the worker process still running."""
+        return (self._alive and self.process is not None
+                and self.process.is_alive())
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently awaiting a reply."""
+        with self._state:
+            return len(self._pending)
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Gracefully stop the worker: drain, flush, exit, join.
+
+        The ``shutdown`` request is answered only after everything
+        submitted before it completed (the worker is single-threaded
+        and in-order), and its reply carries the final flush count. A
+        dead shard is reaped without ceremony. Idempotent.
+        """
+        if self.alive:
+            try:
+                self.call(Request(venue="", kind="shutdown"), timeout=timeout)
+            except (ServingError, FutureTimeoutError, TimeoutError):
+                pass  # died or stalled while draining — reap below
+        self._mark_dead("shut down")
+        if self.process is not None:
+            self.process.join(timeout=timeout)
+            if self.process.is_alive():  # pragma: no cover - stuck worker
+                self.process.terminate()
+                self.process.join(timeout=timeout)
+
+    def kill(self) -> None:
+        """Hard-kill the worker process (no flush — test/chaos hook)."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=_CONNECT_TIMEOUT)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, *, timeout: float | None = None) -> Future:
+        """Send one request; returns the future its reply will resolve.
+
+        Blocks while the in-flight window is full (backpressure); with
+        a ``timeout``, raises :class:`ServingError` instead of blocking
+        past it. Raises immediately if the shard is dead.
+        """
+        if not self.alive:
+            raise ServingError(
+                f"shard {self.shard_id} is not running"
+                + (f" ({self._death_reason})" if self._death_reason else "")
+            )
+        if not self._sem.acquire(timeout=timeout):
+            raise ServingError(
+                f"shard {self.shard_id} backpressure: {self.max_inflight} "
+                f"requests in flight for {timeout}s"
+            )
+        future: Future = Future()
+        with self._state:
+            request_id = self._next_id
+            self._next_id += 1
+            self._pending[request_id] = future
+        try:
+            # Encode before touching the wire: an unencodable request
+            # (oversized venue doc, non-JSON payload) fails only its
+            # own future — the connection carried no partial frame and
+            # stays healthy.
+            frame = encode_frame(request_to_doc(request, request_id))
+        except Exception as exc:  # noqa: BLE001 - travels via the future
+            self._settle(request_id, error=ServingError(
+                f"shard {self.shard_id} request not encodable: {exc}"))
+            return future
+        try:
+            with self._send_lock:
+                sock = self._sock
+                if sock is None:
+                    raise OSError("connection already closed")
+                sock.sendall(frame)
+        except OSError as exc:
+            # A failed sendall may have written part of the frame —
+            # the stream is unrecoverable, so the handle dies.
+            self._settle(request_id, error=ServingError(
+                f"shard {self.shard_id} send failed: {exc}"))
+            self._mark_dead(f"send failed: {exc}")
+        return future
+
+    def call(self, request: Request, *, timeout: float | None = None):
+        """Synchronous convenience: ``submit(...).result(timeout)``."""
+        return self.submit(request, timeout=timeout).result(timeout)
+
+    # ------------------------------------------------------------------
+    def _settle(self, request_id: int, *, value=None,
+                error: BaseException | None = None) -> bool:
+        """Resolve one pending future and release its window slot."""
+        with self._state:
+            future = self._pending.pop(request_id, None)
+        if future is None:
+            return False
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
+        self._sem.release()
+        return True
+
+    def _mark_dead(self, reason: str) -> None:
+        with self._state:
+            if not self._alive and self._death_reason is not None:
+                pending = {}
+            else:
+                self._alive = False
+                self._death_reason = reason
+                pending = dict(self._pending)
+        for request_id in pending:
+            self._settle(request_id, error=ServingError(
+                f"shard {self.shard_id} connection lost ({reason}); "
+                "the request may or may not have been applied"
+            ))
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _read_loop(self) -> None:
+        sock = self._sock
+        reason = "connection closed by worker"
+        try:
+            while True:
+                try:
+                    doc = recv_doc(sock)
+                except (ProtocolError, OSError) as exc:
+                    reason = str(exc)
+                    doc = None
+                if doc is None:
+                    break
+                try:
+                    reply = reply_from_doc(doc)
+                except ProtocolError as exc:
+                    reason = str(exc)
+                    break
+                if isinstance(reply, Response):
+                    try:
+                        self._settle(reply.request_id, value=reply.value())
+                    except Exception as exc:  # noqa: BLE001 - corrupt result
+                        # e.g. ProtocolError, or ValueError from packed
+                        # numerics — fail this request, keep reading
+                        self._settle(reply.request_id, error=exc)
+                else:
+                    self._settle(reply.request_id, error=reply.exception())
+        finally:
+            # Whatever ends this thread — clean EOF, framing error, or
+            # an unexpected exception — the handle must die loudly so
+            # in-flight and future submitters fail fast instead of
+            # hanging on futures nobody will resolve.
+            self._mark_dead(reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return (
+            f"ShardProcess(id={self.shard_id}, {state}, "
+            f"inflight={self.inflight}/{self.max_inflight})"
+        )

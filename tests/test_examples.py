@@ -23,4 +23,4 @@ def test_examples_present():
     names = {p.stem for p in EXAMPLES}
     assert {"quickstart", "emergency_evacuation", "airport_navigation",
             "campus_facility_search", "live_tracking",
-            "multi_venue_server"} <= names
+            "multi_venue_server", "sharded_cluster"} <= names

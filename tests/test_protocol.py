@@ -1,0 +1,287 @@
+"""The serving wire protocol: codecs, framing, and error transport.
+
+Pure protocol-layer tests — no worker processes. Covers the edge cases
+the sharded cluster depends on: bit-exact value round-trips (floats
+cross the wire through packed base64, not JSON decimals), oversized
+and truncated frames, malformed documents, unknown request/result
+kinds, and exception reconstruction on the client side.
+"""
+
+from __future__ import annotations
+
+import math
+import socket
+import threading
+
+import pytest
+
+from repro.core.results import Neighbor, PathResult, QueryStats
+from repro.exceptions import ProtocolError, QueryError, ServingError
+from repro.model.entities import IndoorPoint
+from repro.model.objects import UpdateOp
+from repro.serving.protocol import (
+    CONTROL_KINDS,
+    MAX_FRAME_BYTES,
+    QUERY_KINDS,
+    REQUEST_KINDS,
+    ErrorResponse,
+    Request,
+    Response,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    recv_doc,
+    reply_from_doc,
+    reply_to_doc,
+    request_from_doc,
+    request_to_doc,
+    result_from_doc,
+    result_to_doc,
+    send_doc,
+)
+
+#: floats with no short decimal representation — the wire must carry
+#: them bit-for-bit, not through repr/parse round-trips
+AWKWARD = (0.1 + 0.2, math.pi, 1e-309, 2.0**52 + 0.5)
+
+
+# ----------------------------------------------------------------------
+# Request codec
+# ----------------------------------------------------------------------
+def _points():
+    return IndoorPoint(3, 1.25, -7.5), IndoorPoint(9, 0.1 + 0.2, 4.0)
+
+
+@pytest.mark.parametrize("kind", QUERY_KINDS)
+def test_request_round_trips_every_query_kind(kind):
+    source, target = _points()
+    request = Request(
+        venue="a" * 64, kind=kind, source=source,
+        target=target if kind in ("distance", "path") else None,
+        k=7 if kind == "knn" else 0,
+        radius=12.5 if kind == "range" else 0.0,
+        op=UpdateOp(kind="move", object_id=4, location=source)
+        if kind == "update" else None,
+    )
+    decoded, request_id = request_from_doc(request_to_doc(request, 123))
+    assert request_id == 123
+    assert decoded == request
+
+
+@pytest.mark.parametrize("op_kind", ("insert", "delete", "move"))
+def test_update_ops_round_trip(op_kind):
+    source, _ = _points()
+    op = UpdateOp(kind=op_kind, object_id=11, location=source,
+                  label="cart-11", category="cart")
+    request = Request(venue="v", kind="update", op=op)
+    decoded, _ = request_from_doc(request_to_doc(request, 0))
+    assert decoded.op == op
+
+
+@pytest.mark.parametrize("kind", CONTROL_KINDS)
+def test_control_requests_round_trip_payload(kind):
+    request = Request(venue="", kind=kind, payload={"x": [1, 2], "y": "z"})
+    decoded, _ = request_from_doc(request_to_doc(request, 5))
+    assert decoded == request
+    assert kind in REQUEST_KINDS
+
+
+def test_malformed_request_document_raises():
+    doc = request_to_doc(Request(venue="v", kind="distance"), 1)
+    del doc["venue"]
+    with pytest.raises(ProtocolError, match="malformed request"):
+        request_from_doc(doc)
+    with pytest.raises(ProtocolError):
+        request_from_doc({"id": 1, "venue": "v", "kind": "knn",
+                          "source": [1]})  # truncated point triple
+
+
+# ----------------------------------------------------------------------
+# Result codec
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("value", [
+    None, True, False, 3, -1, "venue-id", {"nested": {"doc": [1, 2]}},
+])
+def test_plain_results_round_trip(value):
+    assert result_from_doc(result_to_doc(value)) == value
+    restored = result_from_doc(result_to_doc(value))
+    assert type(restored) is type(value)
+
+
+@pytest.mark.parametrize("x", AWKWARD)
+def test_floats_cross_the_wire_bit_exactly(x):
+    restored = result_from_doc(result_to_doc(x))
+    assert restored == x and isinstance(restored, float)
+
+
+def test_path_result_round_trips_bit_exactly():
+    path = PathResult(distance=0.1 + 0.2, doors=[4, 0, 17])
+    restored = result_from_doc(result_to_doc(path))
+    assert restored.distance == path.distance
+    assert restored.doors == path.doors
+
+
+def test_neighbor_list_round_trips_bit_exactly():
+    neighbors = [Neighbor(object_id=i, distance=x)
+                 for i, x in enumerate(AWKWARD)]
+    restored = result_from_doc(result_to_doc(neighbors))
+    assert restored == neighbors
+    assert result_from_doc(result_to_doc([])) == []
+
+
+def test_result_doc_is_the_cross_transport_normal_form():
+    """QueryStats describe work done, not the answer: two results that
+    differ only in stats encode to the same document."""
+    worked = PathResult(distance=1.5, doors=[2], stats=QueryStats(nodes_visited=9))
+    fresh = PathResult(distance=1.5, doors=[2])
+    assert result_to_doc(worked) == result_to_doc(fresh)
+
+
+def test_unencodable_result_raises():
+    with pytest.raises(ProtocolError, match="unencodable"):
+        result_to_doc(object())
+
+
+def test_unknown_result_tag_raises():
+    with pytest.raises(ProtocolError, match="unknown result type"):
+        result_from_doc({"t": "quaternion", "v": 1})
+    with pytest.raises(ProtocolError, match="malformed result"):
+        result_from_doc({"v": 1})
+
+
+# ----------------------------------------------------------------------
+# Replies and error transport
+# ----------------------------------------------------------------------
+def test_success_reply_round_trips():
+    reply = Response(request_id=7, result=result_to_doc([Neighbor(1, 2.5)]))
+    restored = reply_from_doc(reply_to_doc(reply))
+    assert restored == reply
+    assert restored.value() == [Neighbor(1, 2.5)]
+
+
+def test_known_exception_classes_survive_the_wire():
+    reply = reply_from_doc(reply_to_doc(error_reply(3, QueryError("object 9 gone"))))
+    assert isinstance(reply, ErrorResponse) and reply.request_id == 3
+    exc = reply.exception()
+    assert type(exc) is QueryError and "object 9 gone" in str(exc)
+
+
+def test_unknown_exception_degrades_to_serving_error():
+    class ExoticError(RuntimeError):
+        pass
+
+    exc = reply_from_doc(
+        reply_to_doc(error_reply(1, ExoticError("boom")))
+    ).exception()
+    assert type(exc) is ServingError
+    assert "ExoticError" in str(exc) and "boom" in str(exc)
+
+
+def test_malformed_reply_document_raises():
+    with pytest.raises(ProtocolError, match="malformed reply"):
+        reply_from_doc({"result": {}})
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def test_frame_round_trip():
+    doc = request_to_doc(Request(venue="v", kind="ping"), 9)
+    frame = encode_frame(doc)
+    assert int.from_bytes(frame[:4], "big") == len(frame) - 4
+    assert decode_frame(frame[4:]) == doc
+
+
+def test_oversized_frame_fails_on_the_sending_side():
+    with pytest.raises(ProtocolError, match="exceeds"):
+        encode_frame({"blob": "x" * 64}, max_bytes=32)
+
+
+def test_undecodable_frame_payloads_raise():
+    with pytest.raises(ProtocolError, match="undecodable"):
+        decode_frame(b"\xff\xfe not json")
+    with pytest.raises(ProtocolError, match="JSON object"):
+        decode_frame(b"[1, 2, 3]")
+
+
+def _pipe():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+def test_send_recv_over_a_socket():
+    a, b = _pipe()
+    try:
+        docs = [request_to_doc(Request(venue="v", kind="knn"), i)
+                for i in range(3)]
+
+        def write_all():
+            for d in docs:
+                send_doc(a, d)
+
+        writer = threading.Thread(target=write_all)
+        writer.start()
+        received = [recv_doc(b) for _ in range(3)]
+        writer.join(timeout=5)
+        assert received == docs
+    finally:
+        a.close()
+        b.close()
+
+
+def test_clean_eof_between_frames_is_none():
+    a, b = _pipe()
+    send_doc(a, {"t": "none"})
+    a.close()
+    try:
+        assert recv_doc(b) == {"t": "none"}
+        assert recv_doc(b) is None  # peer closed between frames: not an error
+    finally:
+        b.close()
+
+
+def test_truncated_header_raises():
+    a, b = _pipe()
+    a.sendall(b"\x00\x00")  # 2 of 4 header bytes, then EOF
+    a.close()
+    try:
+        with pytest.raises(ProtocolError, match="truncated frame.*header"):
+            recv_doc(b)
+    finally:
+        b.close()
+
+
+def test_truncated_payload_raises():
+    a, b = _pipe()
+    frame = encode_frame({"t": "none"})
+    a.sendall(frame[:-3])  # declared length never arrives
+    a.close()
+    try:
+        with pytest.raises(ProtocolError, match="truncated frame.*payload"):
+            recv_doc(b)
+    finally:
+        b.close()
+
+
+def test_oversized_declared_length_raises_before_reading_payload():
+    a, b = _pipe()
+    a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+    try:
+        with pytest.raises(ProtocolError, match="oversized frame"):
+            recv_doc(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_reader_side_frame_limit_wins_over_the_default():
+    a, b = _pipe()
+    a.sendall(encode_frame({"blob": "x" * 64}))  # fine for the default limit
+    try:
+        with pytest.raises(ProtocolError, match="oversized frame"):
+            recv_doc(b, max_bytes=16)
+    finally:
+        a.close()
+        b.close()
