@@ -174,15 +174,17 @@ class DistanceMatrix:
         mx = object.__new__(cls)
         mx.space = space
         mx.d2d = d2d if d2d is not None else Graph.from_state(state["d2d"])
-        mx.dist = (
-            np.frombuffer(unpack_raw(state["dist"]), dtype="<f8")
-            .reshape(n, n)
-            .astype(np.float64)
+        # asarray: no copy when the packed little-endian layout already
+        # is the native one — which keeps mmap-loaded matrices zero-copy
+        # views of the snapshot's binary section (read-only is fine,
+        # queries never write into them)
+        mx.dist = np.asarray(
+            np.frombuffer(unpack_raw(state["dist"]), dtype="<f8").reshape(n, n),
+            dtype=np.float64,
         )
-        mx.first_hop = (
-            np.frombuffer(unpack_raw(state["first_hop"]), dtype="<i4")
-            .reshape(n, n)
-            .astype(np.int32)
+        mx.first_hop = np.asarray(
+            np.frombuffer(unpack_raw(state["first_hop"]), dtype="<i4").reshape(n, n),
+            dtype=np.int32,
         )
         mx.build_seconds = state.get("build_seconds", 0.0)
         return mx

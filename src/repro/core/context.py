@@ -71,6 +71,7 @@ class QueryContext:
 
     __slots__ = (
         "tree",
+        "kernels",
         "endpoints",
         "climbs",
         "searches",
@@ -82,8 +83,14 @@ class QueryContext:
         "search_misses",
     )
 
-    def __init__(self, tree: "IPTree", *, endpoint_cache=None, climb_cache=None, search_cache=None) -> None:
+    def __init__(
+        self, tree: "IPTree", *, endpoint_cache=None, climb_cache=None, search_cache=None, kernels=None
+    ) -> None:
         self.tree = tree
+        #: optional array-at-a-time kernel backend (:mod:`repro.kernels`)
+        #: used for climbs performed on behalf of this context; queries
+        #: passing this context inherit it unless they override.
+        self.kernels = kernels
         self.endpoints = {} if endpoint_cache is None else endpoint_cache
         self.climbs = {} if climb_cache is None else climb_cache
         self.searches = {} if search_cache is None else search_cache
@@ -122,7 +129,9 @@ class QueryContext:
             self.climb_hits += 1
             return hit
         self.climb_misses += 1
-        known, pred, _ = self.tree.endpoint_distances(endpoint, target_node, leaf_id=leaf_id)
+        known, pred, _ = self.tree.endpoint_distances(
+            endpoint, target_node, leaf_id=leaf_id, kernels=self.kernels
+        )
         self.climbs[key] = (known, pred)
         return known, pred
 
@@ -142,7 +151,11 @@ class QueryContext:
             return state
         self.search_misses += 1
         _, _, chain_map = self.tree.endpoint_distances(
-            endpoint, self.tree.root_id, leaf_id=endpoint.leaves[0], collect_chain=True
+            endpoint,
+            self.tree.root_id,
+            leaf_id=endpoint.leaves[0],
+            collect_chain=True,
+            kernels=self.kernels,
         )
         state = dict(chain_map)
         self.searches[key] = state

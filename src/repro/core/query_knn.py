@@ -6,6 +6,16 @@ distance. The distances from q to the access doors of every visited node
 are derived incrementally from the parent's distances via the paper's
 Lemmas 8 and 9, so each node costs O(ρ²) instead of a full Algorithm 3
 run.
+
+Result-set semantics: the k nearest objects under the lexicographic
+``(distance, object_id)`` order. Objects tied at the k-th distance are
+therefore resolved deterministically — the smaller object id wins — and
+the answer is identical across index kinds, kernels, and scan orders.
+
+The inner loops (Lemma 8/9 door combination, access-list scans) have
+array-at-a-time implementations in :mod:`repro.kernels`; pass
+``kernels=`` to use them. The pure-python paths in this module are the
+reference the kernels are asserted bit-identical against.
 """
 
 from __future__ import annotations
@@ -36,12 +46,20 @@ class _Search:
     """
 
     def __init__(
-        self, tree: "IPTree", index: ObjectIndex, query, ctx: "QueryContext | None" = None
+        self,
+        tree: "IPTree",
+        index: ObjectIndex,
+        query,
+        ctx: "QueryContext | None" = None,
+        kernels=None,
     ) -> None:
         if index.tree is not tree:
             raise QueryError("object index was built for a different tree")
+        if kernels is None and ctx is not None:
+            kernels = ctx.kernels
         self.tree = tree
         self.index = index
+        self.kernels = kernels
         self.endpoint = ctx.resolve(query) if ctx is not None else Endpoint(tree, query)
         self.leaf_q = self.endpoint.leaves[0]
         self.chain = tree.chain_of_leaf(self.leaf_q)
@@ -52,7 +70,11 @@ class _Search:
             self.node_dists: dict[int, dict[int, float]] = ctx.search_state(self.endpoint)
         else:
             _, _, chain_map = tree.endpoint_distances(
-                self.endpoint, tree.root_id, leaf_id=self.leaf_q, collect_chain=True
+                self.endpoint,
+                tree.root_id,
+                leaf_id=self.leaf_q,
+                collect_chain=True,
+                kernels=kernels,
             )
             self.node_dists = dict(chain_map)
         self.stats = QueryStats()
@@ -68,6 +90,10 @@ class _Search:
         cached = self.node_dists.get(child_id)
         if cached is not None:
             return cached
+        if self.kernels is not None:
+            dists = self.kernels.child_distances(self, parent_id, child_id)
+            self.node_dists[child_id] = dists
+            return dists
         parent = self.tree.nodes[parent_id]
         pos = self.chain_pos.get(parent_id)
         if pos is not None and pos > 0:
@@ -87,14 +113,27 @@ class _Search:
         self.node_dists[child_id] = dists
         return dists
 
-    def leaf_object_distances(self, leaf_id: int, bound: float):
+    def leaf_object_distances(self, leaf_id: int, bound):
         """Exact object distances for one leaf, pruned by ``bound``.
 
-        Yields ``(distance, object_id)`` pairs (unsorted). The leaf
-        containing q is handled exactly with a Dijkstra expansion on the
-        D2D graph; other leaves combine the access-door distances with
-        the per-door sorted object lists (early break at the bound).
+        ``bound`` is either a float or a zero-argument callable returning
+        the *live* pruning bound; kNN passes its ``dk`` closure so the
+        bound keeps tightening mid-leaf as results are offered.
+
+        Yields ``(distance, object_id)`` pairs in ascending
+        ``(distance, object_id)`` order for non-query leaves (the query
+        leaf's Dijkstra branch is unordered). Every yielded distance is
+        the object's exact minimum over all access doors, so consumers
+        may tighten the bound immediately. The leaf containing q is
+        handled exactly with a Dijkstra expansion on the D2D graph;
+        other leaves merge the per-door sorted object lists by ascending
+        total distance and stop once the smallest outstanding total
+        exceeds the bound (entries *equal* to the bound are kept — ties
+        at the k-th distance must reach the caller).
         """
+        if not callable(bound):
+            fixed = bound
+            bound = lambda: fixed  # noqa: E731
         tree = self.tree
         index = self.index
         oids = index.objects_in_leaf(leaf_id)
@@ -122,41 +161,91 @@ class _Search:
                     direct = space.direct_point_distance(self.endpoint.point, obj.location)
                     if direct < best:
                         best = direct
-                if best <= bound:
+                if best <= bound():
                     yield best, oid
         else:
             dq = self.node_dists[leaf_id]
-            best_per_obj: dict[int, float] = {}
-            for a, base in dq.items():
-                for dobj, oid in self.index.access_lists[leaf_id][a]:
-                    total = base + dobj
-                    if total > bound:
-                        break  # lists are sorted by object distance
-                    cur = best_per_obj.get(oid, INF)
-                    if total < cur:
-                        best_per_obj[oid] = total
-            yield from ((d, oid) for oid, d in best_per_obj.items())
+            if self.kernels is not None:
+                yield from self.kernels.leaf_objects(self, leaf_id, dq, bound, self.stats)
+                return
+            # k-way merge of the per-door sorted lists by ascending total
+            # distance. The first time an object id surfaces, that total
+            # is its exact minimum (all later occurrences are >=), so it
+            # can be yielded immediately and the caller's bound tightens
+            # before the next pop.
+            lists = index.access_lists[leaf_id]
+            stats = self.stats
+            seqs = []
+            bases = []
+            heap: list[tuple[float, int, int, int]] = []
+            for si, (a, base) in enumerate(dq.items()):
+                lst = lists[a]
+                seqs.append(lst)
+                bases.append(base)
+                if lst:
+                    d0, o0 = lst[0]
+                    heap.append((base + d0, o0, si, 0))
+            heapq.heapify(heap)
+            seen: set[int] = set()
+            while heap:
+                total, oid, si, i = heapq.heappop(heap)
+                if total > bound():
+                    break
+                stats.list_entries_scanned += 1
+                if oid not in seen:
+                    seen.add(oid)
+                    yield total, oid
+                i += 1
+                lst = seqs[si]
+                if i < len(lst):
+                    d, o = lst[i]
+                    heapq.heappush(heap, (bases[si] + d, o, si, i))
 
 
 def knn(
-    tree: "IPTree", index: ObjectIndex, query, k: int, ctx: "QueryContext | None" = None
+    tree: "IPTree",
+    index: ObjectIndex,
+    query,
+    k: int,
+    ctx: "QueryContext | None" = None,
+    kernels=None,
 ) -> list[Neighbor]:
-    """Algorithm 5: the k nearest objects to ``query`` by indoor distance."""
+    """Algorithm 5: the k nearest objects to ``query`` by indoor distance.
+
+    Ties at the k-th distance break on the smaller ``object_id`` (the
+    result set is the k lexicographically smallest ``(distance,
+    object_id)`` pairs), matching the brute-force oracle exactly.
+    """
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
-    search = _Search(tree, index, query, ctx)
+    search = _Search(tree, index, query, ctx, kernels)
+    if search.kernels is not None:
+        # Array backends may answer the whole query eagerly (every
+        # node's distances in a few level-batched ops) instead of
+        # best-first; the result set is identical because the per-object
+        # distances are the same floats and both select the k
+        # lexicographically smallest (distance, object_id) pairs.
+        full = getattr(search.kernels, "knn_full", None)
+        if full is not None:
+            out = full(search, k)
+            if out is not None:
+                return out
     stats = search.stats
 
-    results: list[tuple[float, int]] = []  # max-heap via negated distance
+    # Max-heap via negation of both fields: results[0] is the current
+    # *worst* kept pair under the (distance, object_id) order.
+    results: list[tuple[float, int]] = []
 
     def dk() -> float:
         return -results[0][0] if len(results) >= k else INF
 
     def offer(d: float, oid: int) -> None:
         if len(results) < k:
-            heapq.heappush(results, (-d, oid))
-        elif d < -results[0][0]:
-            heapq.heapreplace(results, (-d, oid))
+            heapq.heappush(results, (-d, -oid))
+            return
+        cand = (-d, -oid)
+        if cand > results[0]:
+            heapq.heapreplace(results, cand)
 
     heap: list[tuple[float, int]] = []
     if index.count(tree.root_id) > 0:
@@ -170,7 +259,10 @@ def knn(
         node = tree.nodes[nid]
         stats.nodes_visited += 1
         if node.is_leaf:
-            for d, oid in search.leaf_object_distances(nid, dk()):
+            # Pass the live dk closure (not its current value): offer()
+            # tightens the bound mid-leaf, so later access-list entries
+            # in the same leaf are pruned earlier.
+            for d, oid in search.leaf_object_distances(nid, dk):
                 offer(d, oid)
         else:
             for cid in node.children:
@@ -184,5 +276,5 @@ def knn(
                 if child_min <= dk():
                     heapq.heappush(heap, (child_min, cid))
 
-    out = sorted(((-nd, oid) for nd, oid in results))
+    out = sorted(((-nd, -noid) for nd, noid in results))
     return [Neighbor(object_id=oid, distance=d) for d, oid in out]

@@ -2,7 +2,7 @@
 
 Identical branch-and-bound traversal to kNN with the pruning bound fixed
 to the query radius: every object within indoor distance ``radius`` of
-the query point is reported.
+the query point is reported. Results sort by ``(distance, object_id)``.
 """
 
 from __future__ import annotations
@@ -21,12 +21,24 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def range_query(
-    tree: "IPTree", index: ObjectIndex, query, radius: float, ctx: "QueryContext | None" = None
+    tree: "IPTree",
+    index: ObjectIndex,
+    query,
+    radius: float,
+    ctx: "QueryContext | None" = None,
+    kernels=None,
 ) -> list[Neighbor]:
     """All objects within ``radius`` of ``query``, sorted by distance."""
     if radius < 0:
         raise QueryError(f"radius must be non-negative, got {radius}")
-    search = _Search(tree, index, query, ctx)
+    search = _Search(tree, index, query, ctx, kernels)
+    if search.kernels is not None:
+        # See query_knn.knn: eager array backends answer whole queries.
+        full = getattr(search.kernels, "range_full", None)
+        if full is not None:
+            out = full(search, radius)
+            if out is not None:
+                return out
     stats = search.stats
 
     found: list[tuple[float, int]] = []

@@ -18,6 +18,10 @@ class QueryStats:
     nodes_visited: int = 0
     #: priority-queue pops (kNN/range/Dijkstra fallbacks)
     heap_pops: int = 0
+    #: access-list entries examined while combining leaf objects
+    #: (kNN/range); the live pruning bound shrinks this as results
+    #: tighten mid-leaf
+    list_entries_scanned: int = 0
     #: True when the query was answered by the same-leaf Dijkstra fallback
     same_leaf: bool = False
 

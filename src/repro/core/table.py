@@ -25,7 +25,7 @@ _INF = float("inf")
 class DistanceTable:
     """Dense distance + next-hop matrix keyed by door ids."""
 
-    __slots__ = ("row_doors", "col_doors", "row_index", "col_index", "_dist", "_hop")
+    __slots__ = ("row_doors", "col_doors", "row_index", "col_index", "_dist", "_hop", "_np_dist")
 
     def __init__(self, row_doors: list[int], col_doors: list[int]):
         self.row_doors = list(row_doors)
@@ -35,6 +35,7 @@ class DistanceTable:
         ncols = len(self.col_doors)
         self._dist = [[_INF] * ncols for _ in self.row_doors]
         self._hop = [[NO_DOOR] * ncols for _ in self.row_doors]
+        self._np_dist = None
 
     # ------------------------------------------------------------------
     def set_entry(self, row_door: int, col_door: int, dist: float, hop: int = NO_DOOR) -> None:
@@ -43,6 +44,7 @@ class DistanceTable:
         j = self.col_index[col_door]
         self._dist[i][j] = dist
         self._hop[i][j] = hop
+        self._np_dist = None
 
     def distance(self, row_door: int, col_door: int) -> float:
         """Shortest distance ``row_door -> col_door`` (O(1), paper §2.1.1)."""
@@ -60,6 +62,23 @@ class DistanceTable:
         i = self.row_index[row_door]
         row = self._dist[i]
         return {d: row[j] for d, j in self.col_index.items()}
+
+    @property
+    def dist_matrix(self):
+        """The distance matrix as a dense ``(num_rows, num_cols)`` numpy
+        float64 array, built lazily and cached (invalidated by
+        :meth:`set_entry`). Shares storage with the row views when the
+        table was restored from a packed/mmap'd snapshot, in which case
+        it may be read-only. Used by :mod:`repro.kernels`; requires
+        numpy.
+        """
+        m = self._np_dist
+        if m is None:
+            import numpy as np
+
+            m = np.array(self._dist, dtype=np.float64).reshape(self.num_rows, self.num_cols)
+            self._np_dist = m
+        return m
 
     # ------------------------------------------------------------------
     @property
@@ -115,6 +134,10 @@ class DistanceTable:
             table._hop = [
                 flat_h[i : i + ncols] for i in range(0, len(flat_h), ncols)
             ]
+            if not isinstance(flat_d, list):
+                # mmap'd snapshot: flat_d is already a zero-copy numpy
+                # view, so the dense kernel matrix is free.
+                table._np_dist = flat_d.reshape(-1, ncols)
         return table
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

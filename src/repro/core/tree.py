@@ -467,40 +467,51 @@ class IPTree:
     # Queries (implemented in the query_* modules)
     # ------------------------------------------------------------------
     def endpoint_distances(
-        self, endpoint, target_node: int, leaf_id: int | None = None, collect_chain: bool = False
+        self,
+        endpoint,
+        target_node: int,
+        leaf_id: int | None = None,
+        collect_chain: bool = False,
+        kernels=None,
     ):
         """Algorithm 2 dispatch: distances from an endpoint to the access
         doors of an ancestor node. VIP-Tree overrides this with its O(αρ)
-        materialized variant (§3.1.2)."""
+        materialized variant (§3.1.2). A kernels backend may provide a
+        ``climb_ip`` hook to take over the climb (the numpy backend does
+        not: at fixture ρ the python loop wins, and the array path
+        vectorizes whole queries instead — see :mod:`repro.kernels`)."""
+        climb = getattr(kernels, "climb_ip", None)
+        if climb is not None:
+            return climb(self, endpoint, target_node, leaf_id, collect_chain)
         from .query_distance import get_distances
 
         return get_distances(self, endpoint, target_node, leaf_id, collect_chain)
 
-    def shortest_distance(self, source, target, ctx=None) -> float:
+    def shortest_distance(self, source, target, ctx=None, kernels=None) -> float:
         from .query_distance import shortest_distance
 
-        return shortest_distance(self, source, target, ctx).distance
+        return shortest_distance(self, source, target, ctx, kernels=kernels).distance
 
-    def distance_query(self, source, target, ctx=None):
+    def distance_query(self, source, target, ctx=None, kernels=None):
         """Shortest distance with query statistics (QueryResult)."""
         from .query_distance import shortest_distance
 
-        return shortest_distance(self, source, target, ctx)
+        return shortest_distance(self, source, target, ctx, kernels=kernels)
 
     def shortest_path(self, source, target, ctx=None):
         from .query_path import shortest_path
 
         return shortest_path(self, source, target, ctx)
 
-    def knn(self, object_index, query, k: int, ctx=None):
+    def knn(self, object_index, query, k: int, ctx=None, kernels=None):
         from .query_knn import knn
 
-        return knn(self, object_index, query, k, ctx)
+        return knn(self, object_index, query, k, ctx, kernels=kernels)
 
-    def range_query(self, object_index, query, radius: float, ctx=None):
+    def range_query(self, object_index, query, radius: float, ctx=None, kernels=None):
         from .query_range import range_query
 
-        return range_query(self, object_index, query, radius, ctx)
+        return range_query(self, object_index, query, radius, ctx, kernels=kernels)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

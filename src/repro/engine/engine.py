@@ -70,6 +70,7 @@ from ..core.objects_index import ObjectIndex
 from ..core.results import Neighbor, PathResult
 from ..core.tree import IPTree
 from ..exceptions import QueryError
+from ..kernels import resolve_kernels
 from ..model.entities import IndoorPoint
 from ..model.objects import UpdateOp
 from .cache import LRUCache
@@ -212,6 +213,12 @@ class QueryEngine:
             kNN/range queries, a mutex guarding caches/counters, and
             per-thread query contexts). ``False`` — the default — keeps
             the single-threaded fast path entirely lock-free.
+        kernels: query-kernel backend for tree indexes —
+            ``"auto"`` (default: numpy when importable, else the python
+            reference), ``"numpy"``, ``"python"``, or a backend
+            instance (see :mod:`repro.kernels`). Answers are
+            bit-identical across backends; only speed changes. Ignored
+            for non-tree indexes.
     """
 
     def __init__(
@@ -224,9 +231,11 @@ class QueryEngine:
         result_cache_size: int = 8192,
         context_cache_size: int = 16384,
         thread_safe: bool = False,
+        kernels="auto",
     ) -> None:
         self.index = index
         self._is_tree = isinstance(index, IPTree)
+        self.kernels = resolve_kernels(kernels) if self._is_tree else None
         self.cache_enabled = bool(cache)
         self._context_cache_size = context_cache_size
         self.thread_safe = bool(thread_safe)
@@ -353,15 +362,17 @@ class QueryEngine:
     # Snapshots (persistence, :mod:`repro.storage`)
     # ------------------------------------------------------------------
     @classmethod
-    def from_snapshot(cls, path, *, space=None, **engine_kwargs) -> "QueryEngine":
+    def from_snapshot(cls, path, *, space=None, mmap: bool = False, **engine_kwargs) -> "QueryEngine":
         """Warm-start an engine from a snapshot file — zero rebuild.
 
         The snapshot's index, object set and (for trees) the restored
         :class:`ObjectIndex` are wired straight into a new engine.
         ``space``, when given, fingerprint-checks the snapshot against
-        the venue the caller intends to serve; remaining keyword
-        arguments are the usual engine knobs (``cache=``,
-        ``distance_cache_size=``, ...).
+        the venue the caller intends to serve; ``mmap=True`` maps the
+        snapshot's binary section zero-copy into numpy views instead of
+        deserializing it (see :func:`repro.storage.load_snapshot`);
+        remaining keyword arguments are the usual engine knobs
+        (``cache=``, ``distance_cache_size=``, ...).
 
         Raises:
             SnapshotError: corrupted file, format-version mismatch, or
@@ -369,7 +380,7 @@ class QueryEngine:
         """
         from ..storage.snapshot import load_snapshot  # lazy: storage sits above core
 
-        return load_snapshot(path, space=space).engine(engine_cls=cls, **engine_kwargs)
+        return load_snapshot(path, space=space, mmap=mmap).engine(engine_cls=cls, **engine_kwargs)
 
     def save_snapshot(self, path):
         """Persist this engine's built index + objects to ``path``.
@@ -564,13 +575,15 @@ class QueryEngine:
             endpoint_cache=LRUCache(self._context_cache_size),
             climb_cache=LRUCache(self._context_cache_size),
             search_cache=LRUCache(self._context_cache_size),
+            kernels=self.kernels,
         )
 
     def _batch_ctx(self) -> QueryContext | None:
         if self.ctx is not None:
             return self.ctx
         if self._is_tree:
-            return QueryContext(self.index)  # per-batch amortization only
+            # per-batch amortization only
+            return QueryContext(self.index, kernels=self.kernels)
         return None
 
     # ------------------------------------------------------------------
@@ -597,7 +610,7 @@ class QueryEngine:
 
     def _raw_distance(self, source, target, ctx) -> float:
         if self._is_tree:
-            return self.index.shortest_distance(source, target, ctx)
+            return self.index.shortest_distance(source, target, ctx, kernels=self.kernels)
         return self.index.shortest_distance(source, target)
 
     def _path(self, source, target, ctx) -> PathResult:
@@ -657,7 +670,7 @@ class QueryEngine:
         if self._is_tree:
             if self.object_index is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")
-            return index.knn(self.object_index, query, k, ctx)
+            return index.knn(self.object_index, query, k, ctx, kernels=self.kernels)
         if isinstance(index, DijkstraOracle):
             if self.objects is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")
@@ -695,7 +708,7 @@ class QueryEngine:
         if self._is_tree:
             if self.object_index is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")
-            return index.range_query(self.object_index, query, radius, ctx)
+            return index.range_query(self.object_index, query, radius, ctx, kernels=self.kernels)
         if isinstance(index, DijkstraOracle):
             if self.objects is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")

@@ -31,12 +31,18 @@ def canonical_dumps(doc) -> str:
     * keys sorted, separators compact — no environment-dependent layout,
     * floats use Python's shortest round-trip ``repr`` (exact to the
       bit, stable across runs and platforms),
-    * non-finite floats are kept (``Infinity`` tokens — unreachable
-      distance-table entries round-trip through ``json.loads``).
+    * non-finite floats are **rejected** (``ValueError``): JSON has no
+      ``Infinity``/``NaN`` tokens, so emitting them would make the
+      "canonical JSON" claim false and the output unreadable by strict
+      parsers. Non-finite values (unreachable distance-table entries)
+      belong in packed sections (:mod:`repro.model.packing`), which
+      round-trip every float bit-exactly.
 
     Fingerprints and snapshot hashes are defined over this encoding.
+    (``json.loads`` still *accepts* ``Infinity`` tokens, so documents
+    written before this guard existed remain readable.)
     """
-    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"), allow_nan=False)
 
 
 def space_to_dict(space: IndoorSpace) -> dict:

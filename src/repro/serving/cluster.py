@@ -96,6 +96,9 @@ class ClusterFrontend:
             periodic flushing (graceful shutdown still flushes).
         max_inflight: per-shard bound on concurrently in-flight
             requests (the backpressure knob).
+        mmap: shard workers memory-map snapshot binary sections on warm
+            start (default ``True``) — all shards of a host share the
+            catalog's bulk index pages through the OS page cache.
         restart: respawn crashed shards on the next request for one of
             their venues (on by default; ``False`` turns a crash into a
             permanent ``ServingError`` for that shard's venues).
@@ -116,6 +119,7 @@ class ClusterFrontend:
         flush_interval: float = DEFAULT_FLUSH_INTERVAL,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         restart: bool = True,
+        mmap: bool = True,
         mp_context=None,
     ) -> None:
         if shards < 1:
@@ -126,6 +130,7 @@ class ClusterFrontend:
         self.capacity = int(capacity)
         self.flush_interval = float(flush_interval)
         self.max_inflight = int(max_inflight)
+        self.mmap = bool(mmap)
         self.restart = bool(restart)
         self._mp_context = mp_context
         self._handles: list[ShardProcess | None] = [None] * self.shards
@@ -255,6 +260,7 @@ class ClusterFrontend:
                 capacity=self.capacity,
                 flush_interval=self.flush_interval,
                 max_inflight=self.max_inflight,
+                mmap=self.mmap,
                 mp_context=self._mp_context,
             ).start()
             # Re-register this shard's venues: the worker warm-starts

@@ -338,9 +338,16 @@ def encode_frame(doc: dict, *, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
 
     Raises:
         ProtocolError: the encoded payload exceeds ``max_bytes`` (the
-            peer would refuse it — fail on the sending side instead).
+            peer would refuse it — fail on the sending side instead),
+            or the document is not canonical-JSON encodable (a raw
+            non-finite float outside a packed field).
     """
-    payload = canonical_dumps(doc).encode("utf-8")
+    try:
+        payload = canonical_dumps(doc).encode("utf-8")
+    except ValueError as exc:
+        raise ProtocolError(
+            f"frame document is not canonical-JSON encodable: {exc}"
+        ) from None
     if len(payload) > max_bytes:
         raise ProtocolError(
             f"frame payload of {len(payload)} bytes exceeds the "

@@ -90,6 +90,9 @@ class VenueRouter:
             unbounded. Busy engines (requests in flight) are never
             evicted, so the bound is soft under extreme concurrency.
         kind: default index kind for :meth:`add_venue`.
+        mmap: memory-map snapshot binary sections on warm start instead
+            of copying them into each engine — the shard worker turns
+            this on so sibling engines of one venue share page cache.
         **engine_kwargs: forwarded to every :class:`QueryEngine`
             (``thread_safe=True`` is always enforced — a pooled engine
             is by definition shared).
@@ -104,11 +107,13 @@ class VenueRouter:
         *,
         capacity: int = 8,
         kind: str = "VIP-Tree",
+        mmap: bool = False,
         **engine_kwargs,
     ) -> None:
         self.catalog = catalog
         self.capacity = int(capacity)
         self.default_kind = kind
+        self.mmap = bool(mmap)
         engine_kwargs["thread_safe"] = True
         self._engine_kwargs = engine_kwargs
         self._mutex = threading.Lock()
@@ -201,7 +206,7 @@ class VenueRouter:
         # serializes concurrent builds of the same venue.
         fresh = self.catalog.engine_for(
             slot.space, slot.kind, objects=slot.objects, builder=slot.builder,
-            **self._engine_kwargs,
+            mmap=self.mmap, **self._engine_kwargs,
         )
         with self._mutex:
             engine = self._engines.get(venue_id)

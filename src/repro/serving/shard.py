@@ -84,6 +84,10 @@ class ShardWorker:
         flush_interval: background flush period in seconds; ``0``
             disables the periodic flusher (a graceful shutdown still
             flushes).
+        mmap: memory-map snapshot binary sections on warm start
+            (default ``True``): shard processes of one host serving the
+            same catalog then share the bulk index pages through the OS
+            page cache instead of each holding a private copy.
 
     Single-threaded by design: one shard process serves one request at
     a time, and CPU parallelism comes from running many shard
@@ -99,10 +103,11 @@ class ShardWorker:
         kind: str = "VIP-Tree",
         capacity: int = 8,
         flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+        mmap: bool = True,
     ) -> None:
         self.shard_id = int(shard_id)
         self.router = VenueRouter(SnapshotCatalog(catalog_root), capacity=capacity,
-                                  kind=kind)
+                                  kind=kind, mmap=mmap)
         self.requests = 0
         self._flusher = (
             self.router.start_auto_flush(flush_interval, seed=shard_id)
@@ -199,7 +204,7 @@ def _no_delay(sock: socket.socket) -> None:
 
 
 def _shard_entry(port: int, catalog_root: str, shard_id: int, kind: str,
-                 capacity: int, flush_interval: float) -> None:
+                 capacity: int, flush_interval: float, mmap: bool = True) -> None:
     """Child-process entry point: connect back to the parent and serve."""
     sock = socket.create_connection(("127.0.0.1", port), timeout=_CONNECT_TIMEOUT)
     sock.settimeout(None)  # the timeout is for the connect, not the serve
@@ -207,7 +212,7 @@ def _shard_entry(port: int, catalog_root: str, shard_id: int, kind: str,
     try:
         worker = ShardWorker(
             catalog_root, shard_id=shard_id, kind=kind, capacity=capacity,
-            flush_interval=flush_interval,
+            flush_interval=flush_interval, mmap=mmap,
         )
         worker.serve(sock)
     finally:
@@ -244,6 +249,7 @@ class ShardProcess:
         capacity: int = 8,
         flush_interval: float = DEFAULT_FLUSH_INTERVAL,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        mmap: bool = True,
         mp_context=None,
     ) -> None:
         if max_inflight < 1:
@@ -253,6 +259,7 @@ class ShardProcess:
         self.kind = kind
         self.capacity = int(capacity)
         self.flush_interval = float(flush_interval)
+        self.mmap = bool(mmap)
         self.max_inflight = int(max_inflight)
         self._mp_context = mp_context
         self.process = None
@@ -284,7 +291,7 @@ class ShardProcess:
             self.process = ctx.Process(
                 target=_shard_entry,
                 args=(port, self.catalog_root, self.shard_id, self.kind,
-                      self.capacity, self.flush_interval),
+                      self.capacity, self.flush_interval, self.mmap),
                 name=f"repro-shard-{self.shard_id}",
                 daemon=True,
             )

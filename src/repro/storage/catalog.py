@@ -112,8 +112,11 @@ class SnapshotCatalog:
         path = self.path_for(index.space, kind_of(index))
         return save_snapshot(path, index, objects)
 
-    def load(self, space: IndoorSpace, kind: str) -> Snapshot:
+    def load(self, space: IndoorSpace, kind: str, *, mmap: bool = False) -> Snapshot:
         """Load ``(space, kind)``, fingerprint-checked against ``space``.
+
+        ``mmap=True`` maps the snapshot's binary section instead of
+        copying it (see :func:`~repro.storage.snapshot.load_snapshot`).
 
         Raises:
             SnapshotError: no snapshot for this venue + kind (or a
@@ -126,7 +129,7 @@ class SnapshotCatalog:
                 f"no {wanted} snapshot for venue {space.name!r} "
                 f"in catalog {self.root}"
             )
-        snapshot = load_snapshot(path, space=space)
+        snapshot = load_snapshot(path, space=space, mmap=mmap)
         if snapshot.info.kind != wanted:
             raise SnapshotError(
                 f"{path}: catalog slot for {wanted} holds a "
@@ -152,10 +155,18 @@ class SnapshotCatalog:
     # Warm start
     # ------------------------------------------------------------------
     def load_or_build(
-        self, space: IndoorSpace, kind: str = "VIP-Tree", objects=None, builder=None
+        self,
+        space: IndoorSpace,
+        kind: str = "VIP-Tree",
+        objects=None,
+        builder=None,
+        *,
+        mmap: bool = False,
     ) -> tuple[Snapshot, bool]:
         """``(snapshot, loaded)`` for a venue — the warm-start primitive.
 
+        ``mmap=True`` memory-maps the snapshot's bulk payload on the
+        load path (a cold build still serves its live in-memory state).
         Loads the catalog's snapshot when present (``loaded=True``);
         otherwise cold-builds the index (``builder(space)`` when given,
         else the kind's default builder), saves it together with
@@ -170,7 +181,7 @@ class SnapshotCatalog:
         """
         with self._slot_lock(self.path_for(space, kind)):
             if self.has(space, kind):
-                return self.load(space, kind), True
+                return self.load(space, kind, mmap=mmap), True
             index = builder(space) if builder is not None else build_index(kind, space)
             # An ObjectIndex argument wraps some *previous* tree —
             # re-embed its object set into the freshly built index
@@ -197,10 +208,14 @@ class SnapshotCatalog:
         kind: str = "VIP-Tree",
         objects=None,
         builder=None,
+        *,
+        mmap: bool = False,
         **engine_kwargs,
     ):
         """A warm-started :class:`~repro.engine.engine.QueryEngine`.
 
+        ``mmap=True`` memory-maps the snapshot's bulk payload when
+        warm-starting from a file (see :meth:`load_or_build`).
         ``objects`` is only used on the cold-build path (it is saved
         into the new snapshot); a loaded snapshot serves the object set
         it was saved with. Pass ``thread_safe=True`` (forwarded to the
@@ -214,5 +229,7 @@ class SnapshotCatalog:
         *shared* engine per venue should pool it, which is exactly what
         the serving router does).
         """
-        snap, _ = self.load_or_build(space, kind, objects=objects, builder=builder)
+        snap, _ = self.load_or_build(
+            space, kind, objects=objects, builder=builder, mmap=mmap
+        )
         return snap.engine(**engine_kwargs)

@@ -10,15 +10,29 @@ byte-identical files, so snapshot hashes are reproducible)::
 
     <header JSON>\\n
     <payload: canonical JSON of the body document>
+    <zero padding to an 8-byte file offset>
+    <binary section: packed numeric arrays, 8-byte aligned>
+
+The binary section (format 2) holds the bulk numerics — distance
+matrices, next-hop tables, VIP stores, edge weights — written through
+:func:`repro.model.packing.binary_sink`; the JSON payload stores only
+compact ``@bin:`` references into it. Because every array sits at an
+8-byte-aligned file offset, ``load_snapshot(mmap=True)`` maps the file
+and hands the index zero-copy numpy views instead of deserializing
+(format-1 files, which inline the arrays as base64, still load — just
+without the zero-copy path).
 
 The single-line header carries the magic string, the snapshot format
 version, the index kind, the **venue fingerprint** (SHA-256 of the
-venue's canonical JSON document) and the payload's SHA-256 + byte
+venue's canonical JSON document) and each section's SHA-256 + byte
 length. :func:`load_snapshot` refuses files whose magic/format do not
-match, whose payload fails the hash check (truncation, corruption), or
+match, whose sections fail the hash check (truncation, corruption), or
 — when the caller supplies the venue they intend to query — whose
 fingerprint differs from that venue (a stale snapshot of an edited or
-different venue must never serve answers).
+different venue must never serve answers). A snapshot loaded with
+``mmap=True`` keeps reading the file after load returns, so
+:meth:`Snapshot.reverify` re-hashes both sections through the live
+mapping to detect on-disk modification after mapping.
 
 The body document holds ``space`` (venue), ``index`` (the class's
 ``to_state()`` output, dispatched through :mod:`repro.storage.codec`),
@@ -47,10 +61,14 @@ from ..model.io_json import (
 )
 from ..model.indoor_space import IndoorSpace
 from ..model.objects import ObjectSet
+from ..model.packing import BinaryReader, BinarySink, binary_reader, binary_sink
 from .codec import decode_index, encode_index
 
 MAGIC = "repro-index-snapshot"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: formats this library can read (format 1 inlined packed arrays as
+#: base64; format 2 moved them to the aligned binary section)
+SUPPORTED_FORMATS = (1, 2)
 
 #: every field the parsers read; their absence (despite valid magic and
 #: format) must surface as SnapshotError, never KeyError
@@ -110,9 +128,54 @@ class SnapshotInfo:
     build_seconds: float | None
     library: str
     path: str = ""
+    #: byte length / SHA-256 of the out-of-band binary section
+    #: (format >= 2; zero/empty for format-1 files)
+    binary_bytes: int = 0
+    binary_sha256: str = ""
 
     def as_dict(self) -> dict:
         return asdict(self)
+
+
+@dataclass(slots=True)
+class _SnapshotMapping:
+    """The live mmap behind a ``load_snapshot(mmap=True)`` result, with
+    enough section geometry to re-verify it in place."""
+
+    mm: object
+    path: str
+    payload_offset: int
+    payload_bytes: int
+    payload_sha256: str
+    binary_offset: int
+    binary_bytes: int
+    binary_sha256: str
+
+    def verify(self) -> None:
+        """Re-hash both sections through the mapping.
+
+        The mapping is ``MAP_SHARED`` read-only, so writes to the file
+        on disk are visible here — this is exactly how modification
+        after mapping is detected, per section.
+        """
+        view = memoryview(self.mm)
+        digest = hashlib.sha256(
+            view[self.payload_offset : self.payload_offset + self.payload_bytes]
+        ).hexdigest()
+        if digest != self.payload_sha256:
+            raise SnapshotError(
+                f"{self.path}: payload section was modified on disk after "
+                f"mapping (expected {self.payload_sha256[:12]}…, got {digest[:12]}…)"
+            )
+        if self.binary_bytes:
+            digest = hashlib.sha256(
+                view[self.binary_offset : self.binary_offset + self.binary_bytes]
+            ).hexdigest()
+            if digest != self.binary_sha256:
+                raise SnapshotError(
+                    f"{self.path}: binary section was modified on disk after "
+                    f"mapping (expected {self.binary_sha256[:12]}…, got {digest[:12]}…)"
+                )
 
 
 @dataclass(slots=True)
@@ -124,6 +187,23 @@ class Snapshot:
     index: object
     objects: ObjectSet | None = None
     object_index: ObjectIndex | None = None
+    #: set only for ``mmap=True`` loads: the live mapping the index's
+    #: numpy views read from
+    mapping: _SnapshotMapping | None = None
+
+    def reverify(self) -> None:
+        """Re-check the snapshot's section checksums.
+
+        For an mmap-loaded snapshot this re-hashes the **live mapping**
+        — detecting a file modified on disk after mapping, which would
+        otherwise silently change query answers. For a regular load it
+        re-reads and re-checks the file. Raises :class:`SnapshotError`
+        on any mismatch.
+        """
+        if self.mapping is not None:
+            self.mapping.verify()
+        else:
+            verify_snapshot(self.info.path)
 
     def engine(self, engine_cls=None, **engine_kwargs):
         """Warm-start a :class:`~repro.engine.engine.QueryEngine`.
@@ -165,31 +245,43 @@ def save_snapshot(path: str | Path, index, objects=None) -> SnapshotInfo:
         SnapshotError: unregistered index class, or an ``ObjectIndex``
             that was built for a different tree than ``index``.
     """
-    kind, state = encode_index(index)
-    # Wall-clock build time is run metadata, not index state: hoist it
-    # into the header so the hashed payload is reproducible across runs.
-    build_seconds = state.pop("build_seconds", None)
-    space = index.space
-    body: dict = {"space": space_to_dict(space), "index": state}
-    object_set: ObjectSet | None = None
-    if isinstance(objects, ObjectIndex):
-        if objects.tree is not index:
+    # Divert packed arrays (distance matrices, VIP stores, edge
+    # weights) into the out-of-band binary section while the body
+    # document is built; the JSON keeps only @bin: references.
+    sink = BinarySink()
+    with binary_sink(sink):
+        kind, state = encode_index(index)
+        # Wall-clock build time is run metadata, not index state: hoist it
+        # into the header so the hashed payload is reproducible across runs.
+        build_seconds = state.pop("build_seconds", None)
+        space = index.space
+        body: dict = {"space": space_to_dict(space), "index": state}
+        object_set: ObjectSet | None = None
+        if isinstance(objects, ObjectIndex):
+            if objects.tree is not index:
+                raise SnapshotError(
+                    "object index was built for a different tree than the "
+                    "index being snapshotted"
+                )
+            object_set = objects.objects
+            body["object_index"] = objects.to_state()
+        elif isinstance(objects, ObjectSet):
+            object_set = objects
+        elif objects is not None:
             raise SnapshotError(
-                "object index was built for a different tree than the "
-                "index being snapshotted"
+                f"objects must be an ObjectSet or ObjectIndex, got {type(objects).__name__}"
             )
-        object_set = objects.objects
-        body["object_index"] = objects.to_state()
-    elif isinstance(objects, ObjectSet):
-        object_set = objects
-    elif objects is not None:
-        raise SnapshotError(
-            f"objects must be an ObjectSet or ObjectIndex, got {type(objects).__name__}"
-        )
-    if object_set is not None:
-        body["objects"] = objects_to_dict(object_set)
+        if object_set is not None:
+            body["objects"] = objects_to_dict(object_set)
+    binary = sink.getvalue()
 
-    payload = canonical_dumps(body).encode("utf-8")
+    try:
+        payload = canonical_dumps(body).encode("utf-8")
+    except ValueError as exc:
+        raise SnapshotError(
+            f"{path}: snapshot body contains non-finite JSON numbers — "
+            f"pack them via repro.model.packing ({exc})"
+        ) from None
     header = {
         "magic": MAGIC,
         "format": FORMAT_VERSION,
@@ -198,6 +290,8 @@ def save_snapshot(path: str | Path, index, objects=None) -> SnapshotInfo:
         "fingerprint": venue_fingerprint(space),
         "payload_sha256": hashlib.sha256(payload).hexdigest(),
         "payload_bytes": len(payload),
+        "binary_sha256": hashlib.sha256(binary).hexdigest() if binary else "",
+        "binary_bytes": len(binary),
         "num_doors": space.num_doors,
         "num_partitions": space.num_partitions,
         "num_objects": len(object_set) if object_set is not None else None,
@@ -211,7 +305,21 @@ def save_snapshot(path: str | Path, index, objects=None) -> SnapshotInfo:
     # file at the canonical path (the catalog treats existence as
     # "snapshot available" and would keep failing to load it).
     tmp = out.with_name(out.name + ".tmp")
-    tmp.write_bytes(canonical_dumps(header).encode("utf-8") + b"\n" + payload)
+    head = canonical_dumps(header).encode("utf-8")
+    if binary:
+        # Align the header line (newline included) to 8 bytes with JSON
+        # whitespace, so the zero padding below depends only on the
+        # payload — never on variable-width header fields like
+        # build_seconds. Everything after the first newline is then a
+        # pure function of the index content, as format-1 files were.
+        head += b" " * ((-(len(head) + 1)) % 8)
+    prefix = head + b"\n" + payload
+    if binary:
+        # pad so the binary section (whose arrays are internally
+        # 8-aligned) starts at an 8-aligned file offset — page-aligned
+        # mmap + aligned offset = aligned numpy views
+        prefix += b"\x00" * ((-len(prefix)) % 8)
+    tmp.write_bytes(prefix + binary)
     os.replace(tmp, out)
     return _info_from_header(header, out)
 
@@ -231,6 +339,8 @@ def _info_from_header(header: dict, path: Path) -> SnapshotInfo:
         build_seconds=header.get("build_seconds"),
         library=header.get("library", ""),
         path=str(path),
+        binary_bytes=int(header.get("binary_bytes") or 0),
+        binary_sha256=header.get("binary_sha256") or "",
     )
 
 
@@ -241,10 +351,10 @@ def _parse_header(path: Path, raw: bytes) -> dict:
         raise SnapshotError(f"{path}: not a snapshot file ({exc})") from None
     if not isinstance(header, dict) or header.get("magic") != MAGIC:
         raise SnapshotError(f"{path}: not a snapshot file (bad magic)")
-    if header.get("format") != FORMAT_VERSION:
+    if header.get("format") not in SUPPORTED_FORMATS:
         raise SnapshotError(
             f"{path}: unsupported snapshot format {header.get('format')!r} "
-            f"(this library reads format {FORMAT_VERSION}); rebuild the snapshot"
+            f"(this library reads formats {SUPPORTED_FORMATS}); rebuild the snapshot"
         )
     missing = [k for k in _REQUIRED_HEADER_KEYS if k not in header]
     if missing:
@@ -266,20 +376,25 @@ def read_snapshot_info(path: str | Path) -> SnapshotInfo:
     return _info_from_header(_parse_header(p, first.rstrip(b"\n")), p)
 
 
-def _read_checked(path: Path) -> tuple[dict, bytes]:
-    """Header dict + payload bytes, with magic/format/integrity checks."""
-    try:
-        raw = path.read_bytes()
-    except OSError as exc:
-        raise SnapshotError(f"{path}: cannot read snapshot ({exc})") from None
-    head, sep, payload = raw.partition(b"\n")
-    if not sep:
+def _check_sections(path: Path, buf) -> tuple[dict, bytes, memoryview | None, int, int]:
+    """Split + integrity-check a snapshot buffer (bytes or mmap).
+
+    Returns ``(header, payload, binary, payload_offset, binary_offset)``
+    — ``binary`` is a zero-copy view of the binary section (``None``
+    when the file has none).
+    """
+    view = memoryview(buf)
+    nl = buf.find(b"\n")
+    if nl < 0:
         raise SnapshotError(f"{path}: not a snapshot file (missing header line)")
-    header = _parse_header(path, head)
-    if len(payload) != header["payload_bytes"]:
+    header = _parse_header(path, bytes(view[:nl]))
+    payload_offset = nl + 1
+    expected = header["payload_bytes"]
+    payload = bytes(view[payload_offset : payload_offset + expected])
+    if len(payload) != expected:
         raise SnapshotError(
             f"{path}: payload is {len(payload)} bytes, header says "
-            f"{header['payload_bytes']} — truncated or corrupted snapshot"
+            f"{expected} — truncated or corrupted snapshot"
         )
     digest = hashlib.sha256(payload).hexdigest()
     if digest != header["payload_sha256"]:
@@ -287,10 +402,36 @@ def _read_checked(path: Path) -> tuple[dict, bytes]:
             f"{path}: payload hash mismatch — corrupted snapshot "
             f"(expected {header['payload_sha256'][:12]}…, got {digest[:12]}…)"
         )
-    return header, payload
+    payload_end = payload_offset + expected
+    binary_bytes = int(header.get("binary_bytes") or 0)
+    if binary_bytes:
+        binary_offset = payload_end + ((-payload_end) % 8)
+        if len(buf) != binary_offset + binary_bytes:
+            raise SnapshotError(
+                f"{path}: file is {len(buf)} bytes, header implies "
+                f"{binary_offset + binary_bytes} — truncated or corrupted snapshot"
+            )
+        binary = view[binary_offset : binary_offset + binary_bytes]
+        digest = hashlib.sha256(binary).hexdigest()
+        if digest != header.get("binary_sha256"):
+            raise SnapshotError(
+                f"{path}: binary section hash mismatch — corrupted snapshot "
+                f"(expected {str(header.get('binary_sha256'))[:12]}…, got {digest[:12]}…)"
+            )
+    else:
+        binary_offset = payload_end
+        binary = None
+        if len(buf) != payload_end:
+            raise SnapshotError(
+                f"{path}: payload is {len(buf) - payload_offset} bytes, header says "
+                f"{expected} — truncated or corrupted snapshot"
+            )
+    return header, payload, binary, payload_offset, binary_offset
 
 
-def load_snapshot(path: str | Path, space: IndoorSpace | None = None) -> Snapshot:
+def load_snapshot(
+    path: str | Path, space: IndoorSpace | None = None, *, mmap: bool = False
+) -> Snapshot:
     """Load a snapshot back into ready-to-query objects — zero rebuild.
 
     Args:
@@ -300,13 +441,40 @@ def load_snapshot(path: str | Path, space: IndoorSpace | None = None) -> Snapsho
             mismatched snapshots) and the returned :class:`Snapshot`
             references this exact instance; otherwise the venue embedded
             in the snapshot is restored.
+        mmap: map the file read-only instead of reading it, and resolve
+            the binary section into **zero-copy numpy views** of the
+            mapping — bulk payloads (distance matrices, VIP stores) are
+            never deserialized or copied, so warm starts on large venues
+            are page-cache-speed. Requires numpy. The returned
+            :class:`Snapshot` keeps the mapping alive and exposes
+            :meth:`Snapshot.reverify` to detect on-disk modification
+            after mapping.
 
     Raises:
         SnapshotError: bad magic, unsupported format version, integrity
             failure, unknown index kind, or venue-fingerprint mismatch.
     """
     p = Path(path)
-    header, payload = _read_checked(p)
+    mm = None
+    if mmap:
+        try:
+            import numpy  # noqa: F401  (views need it at query time anyway)
+        except ImportError as exc:  # pragma: no cover - numpy is a test dep
+            raise SnapshotError(f"{p}: mmap=True requires numpy ({exc})") from None
+        import mmap as mmap_mod
+
+        try:
+            with p.open("rb") as fh:
+                mm = mmap_mod.mmap(fh.fileno(), 0, access=mmap_mod.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            raise SnapshotError(f"{p}: cannot map snapshot ({exc})") from None
+        buf = mm
+    else:
+        try:
+            buf = p.read_bytes()
+        except OSError as exc:
+            raise SnapshotError(f"{p}: cannot read snapshot ({exc})") from None
+    header, payload, binary, payload_offset, binary_offset = _check_sections(p, buf)
     if space is not None:
         fp = venue_fingerprint(space)
         if fp != header["fingerprint"]:
@@ -318,33 +486,48 @@ def load_snapshot(path: str | Path, space: IndoorSpace | None = None) -> Snapsho
     body = json.loads(payload.decode("utf-8"))
     if space is None:
         space = space_from_dict(body["space"])
-    index = decode_index(header["kind"], space, body["index"])
-    if header.get("build_seconds") is not None:
-        # classes route this where it belongs (e.g. DistAw++ proxies it
-        # to its nested matrix via a property)
-        index.build_seconds = header["build_seconds"]
-    objects = (
-        objects_from_dict(body["objects"]) if body.get("objects") is not None else None
-    )
-    object_index = None
-    if body.get("object_index") is not None:
-        if not isinstance(index, IPTree):
-            raise SnapshotError(
-                f"{p}: snapshot has an object_index section but {header['kind']} "
-                "is not a tree index"
-            )
-        if objects is None:
-            raise SnapshotError(
-                f"{p}: snapshot has an object_index section but no objects "
-                "section — corrupted or hand-edited payload"
-            )
-        object_index = ObjectIndex.from_state(index, objects, body["object_index"])
+    reader = BinaryReader(binary, arrays=mm is not None) if binary is not None else None
+    with binary_reader(reader):
+        index = decode_index(header["kind"], space, body["index"])
+        if header.get("build_seconds") is not None:
+            # classes route this where it belongs (e.g. DistAw++ proxies it
+            # to its nested matrix via a property)
+            index.build_seconds = header["build_seconds"]
+        objects = (
+            objects_from_dict(body["objects"]) if body.get("objects") is not None else None
+        )
+        object_index = None
+        if body.get("object_index") is not None:
+            if not isinstance(index, IPTree):
+                raise SnapshotError(
+                    f"{p}: snapshot has an object_index section but {header['kind']} "
+                    "is not a tree index"
+                )
+            if objects is None:
+                raise SnapshotError(
+                    f"{p}: snapshot has an object_index section but no objects "
+                    "section — corrupted or hand-edited payload"
+                )
+            object_index = ObjectIndex.from_state(index, objects, body["object_index"])
+    mapping = None
+    if mm is not None:
+        mapping = _SnapshotMapping(
+            mm=mm,
+            path=str(p),
+            payload_offset=payload_offset,
+            payload_bytes=header["payload_bytes"],
+            payload_sha256=header["payload_sha256"],
+            binary_offset=binary_offset,
+            binary_bytes=int(header.get("binary_bytes") or 0),
+            binary_sha256=header.get("binary_sha256") or "",
+        )
     return Snapshot(
         info=_info_from_header(header, p),
         space=space,
         index=index,
         objects=objects,
         object_index=object_index,
+        mapping=mapping,
     )
 
 
@@ -353,8 +536,8 @@ def verify_snapshot(
 ) -> SnapshotInfo:
     """Check a snapshot's integrity; raise :class:`SnapshotError` if bad.
 
-    The shallow check validates magic, format version, payload length
-    and payload hash. ``deep=True`` additionally restores every section
+    The shallow check validates magic, format version and each
+    section's length and hash. ``deep=True`` additionally restores every section
     and cross-checks the loaded index:
 
     * the embedded venue re-fingerprints to the header's fingerprint,
@@ -366,7 +549,11 @@ def verify_snapshot(
     """
     p = Path(path)
     if not deep:
-        header, _ = _read_checked(p)
+        try:
+            raw = p.read_bytes()
+        except OSError as exc:
+            raise SnapshotError(f"{p}: cannot read snapshot ({exc})") from None
+        header, _, _, _, _ = _check_sections(p, raw)
         return _info_from_header(header, p)
     snap = load_snapshot(p, space=space)
     if venue_fingerprint(snap.space) != snap.info.fingerprint:

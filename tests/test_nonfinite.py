@@ -1,0 +1,113 @@
+"""Non-finite floats: canonical JSON refuses raw ``inf``/``nan`` tokens;
+packed fields carry them bit-exactly through every protocol round-trip.
+
+JSON has no ``Infinity``/``NaN`` tokens, so a raw non-finite float in a
+canonical document would break strict parsers and the determinism claim.
+The rule enforced here: non-finite values travel only inside *packed*
+fields (:mod:`repro.model.packing`), which round-trip every IEEE-754
+double bit-exactly — and the serving protocol packs every float it
+carries, so infinite distances (unreachable pairs) serve fine.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.results import Neighbor, PathResult
+from repro.exceptions import ProtocolError
+from repro.model.io_json import canonical_dumps
+from repro.model.packing import pack_f64, unpack_f64
+from repro.serving.protocol import (
+    decode_frame,
+    encode_frame,
+    result_from_doc,
+    result_to_doc,
+)
+
+INF = float("inf")
+NAN = float("nan")
+NON_FINITE = [INF, -INF, NAN]
+
+
+def same_float(a: float, b: float) -> bool:
+    return math.isnan(a) and math.isnan(b) or a == b
+
+
+# ----------------------------------------------------------------------
+# Canonical JSON: raw non-finite floats are refused
+# ----------------------------------------------------------------------
+class TestCanonicalRejection:
+    @pytest.mark.parametrize("value", NON_FINITE)
+    def test_raw_non_finite_rejected(self, value):
+        with pytest.raises(ValueError):
+            canonical_dumps({"distance": value})
+
+    @pytest.mark.parametrize("value", NON_FINITE)
+    def test_nested_non_finite_rejected(self, value):
+        with pytest.raises(ValueError):
+            canonical_dumps({"rows": [[0.0, value]]})
+
+    def test_finite_still_canonical(self):
+        assert canonical_dumps({"b": 1.5, "a": 2}) == '{"a":2,"b":1.5}'
+
+    @pytest.mark.parametrize("value", NON_FINITE)
+    def test_packed_non_finite_accepted(self, value):
+        doc = {"distance": pack_f64([value])}
+        decoded = json.loads(canonical_dumps(doc))
+        assert same_float(unpack_f64(decoded["distance"])[0], value)
+
+    def test_loads_still_accepts_legacy_infinity_tokens(self):
+        # Documents written before the guard existed stay readable.
+        assert json.loads('{"d": Infinity}')["d"] == INF
+
+
+# ----------------------------------------------------------------------
+# Wire frames: raw non-finite -> ProtocolError; packed -> round-trips
+# ----------------------------------------------------------------------
+class TestFrames:
+    @pytest.mark.parametrize("value", NON_FINITE)
+    def test_encode_frame_refuses_raw_non_finite(self, value):
+        with pytest.raises(ProtocolError, match="not canonical-JSON encodable"):
+            encode_frame({"id": 1, "radius": value})
+
+    @pytest.mark.parametrize("value", NON_FINITE)
+    def test_encode_frame_carries_packed_non_finite(self, value):
+        frame = encode_frame({"id": 1, "v": pack_f64([value])})
+        doc = decode_frame(frame[4:])
+        assert same_float(unpack_f64(doc["v"])[0], value)
+
+
+# ----------------------------------------------------------------------
+# Result documents: inf/nan in every packed field
+# ----------------------------------------------------------------------
+class TestResultRoundTrips:
+    @pytest.mark.parametrize("value", NON_FINITE)
+    def test_float_result(self, value):
+        doc = result_to_doc(value)
+        encode_frame(doc)  # canonical-encodable as a frame
+        assert same_float(result_from_doc(doc), value)
+
+    @pytest.mark.parametrize("value", NON_FINITE)
+    def test_path_result_distance(self, value):
+        path = PathResult(distance=value, doors=[3, 1, 4])
+        doc = result_to_doc(path)
+        encode_frame(doc)
+        back = result_from_doc(doc)
+        assert same_float(back.distance, value)
+        assert back.doors == path.doors
+
+    @pytest.mark.parametrize("value", NON_FINITE)
+    def test_neighbor_distances(self, value):
+        neighbors = [
+            Neighbor(object_id=7, distance=1.25),
+            Neighbor(object_id=2, distance=value),
+        ]
+        doc = result_to_doc(neighbors)
+        encode_frame(doc)
+        back = result_from_doc(doc)
+        assert [n.object_id for n in back] == [7, 2]
+        assert same_float(back[1].distance, value)
+        assert back[0].distance == 1.25

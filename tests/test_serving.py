@@ -357,10 +357,22 @@ class TestServingFrontend:
         router.block.clear()
         fe = ServingFrontend(router, workers=1, queue_size=8).start()
         running = fe.submit(req())
+        # The contract only guarantees completion for requests already
+        # *executing* at shutdown — wait until the worker has actually
+        # picked this one up before queueing the backlog behind it.
+        deadline = time.monotonic() + 5
+        while not running.running() and time.monotonic() < deadline:
+            time.sleep(0.001)
+        assert running.running()
         queued = [fe.submit(req()) for _ in range(3)]
         shutter = threading.Thread(target=fe.shutdown, kwargs={"drain": False})
         shutter.start()
-        time.sleep(0.05)
+        # Unblock the in-flight request only once the cancel sweep has
+        # emptied the backlog, so the worker can never pick up a queued
+        # request the sweep hadn't reached yet.
+        deadline = time.monotonic() + 5
+        while not all(f.cancelled() for f in queued) and time.monotonic() < deadline:
+            time.sleep(0.001)
         router.block.set()  # let the in-flight request finish
         shutter.join(timeout=5)
         assert running.result(timeout=5)[0] == "ok"

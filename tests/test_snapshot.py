@@ -228,17 +228,21 @@ class TestRefusals:
         check; the deep oracle cross-check still refuses it."""
         import hashlib
 
-        head, _, payload = saved_snapshot.read_bytes().partition(b"\n")
-        body = json.loads(payload)
+        raw = saved_snapshot.read_bytes()
+        head, _, rest = raw.partition(b"\n")
+        header = json.loads(head)
+        body = json.loads(rest[: header["payload_bytes"]])
         # last pair is the root (largest nid): silently wrong subtree count
         body["object_index"]["node_counts"][-1][1] += 5
         new_payload = canonical_dumps(body).encode()
-        header = json.loads(head)
         header["payload_sha256"] = hashlib.sha256(new_payload).hexdigest()
         header["payload_bytes"] = len(new_payload)
-        saved_snapshot.write_bytes(
-            canonical_dumps(header).encode() + b"\n" + new_payload
-        )
+        prefix = canonical_dumps(header).encode() + b"\n" + new_payload
+        if header.get("binary_bytes"):
+            # keep the (untampered) binary section, re-padded to 8 bytes
+            prefix += b"\x00" * ((-len(prefix)) % 8)
+            prefix += raw[len(raw) - header["binary_bytes"] :]
+        saved_snapshot.write_bytes(prefix)
         verify_snapshot(saved_snapshot)  # shallow: hash is "right"
         with pytest.raises(SnapshotError, match="subtree counts"):
             verify_snapshot(saved_snapshot, deep=True)
