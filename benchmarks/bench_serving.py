@@ -39,10 +39,10 @@ Four claims are asserted (the scaling ones hardware permitting):
   cache-miss traffic is the CPU-bound case the cluster exists for.
 
 The cluster scaling measurement picks its venue suite greedily so the
-fingerprint-hash partition lands exactly ``per_shard`` venues on each
-of the 4 shards (balanced at 2 and 1 shard too, since ``fp % 2`` and
-``fp % 1`` are coarsenings of ``fp % 4``) — the ladder then measures
-process parallelism, not partition luck.
+consistent-hash ring lands exactly ``per_shard`` venues on each of the
+4 shards — and balances the 2-shard rung too, whose ring places
+independently — so the ladder measures process parallelism, not
+placement luck.
 
 Results (thread + cluster sections) are also written as a
 machine-readable ``BENCH_serving.json`` artifact so the throughput
@@ -71,6 +71,7 @@ from repro.datasets import load_venue, multi_venue_streams, random_objects
 from repro.datasets.venues import VENUE_NAMES
 from repro.serving import (
     ClusterFrontend,
+    HashRing,
     Request,
     ServingFrontend,
     VenueRouter,
@@ -239,29 +240,37 @@ def pick_balanced_venues(
     profile: str, n_objects: int, seed: int,
     shards: int = CLUSTER_SHARDS, per_shard: int = VENUES_PER_SHARD,
 ):
-    """A venue suite whose fingerprints spread evenly across ``shards``.
+    """A venue suite whose ring placements spread evenly across every
+    rung of the shard ladder.
 
     Walks the generator families over increasing seed offsets, keeping
-    a venue only while its shard (``int(fingerprint[:16], 16) % shards``
-    — :meth:`ClusterFrontend.shard_for`) still has room, until every
-    shard holds ``per_shard`` venues. Deterministic per profile, so the
-    scaling ladder measures parallelism rather than hash luck.
+    a venue only while its primary shard on the consistent-hash ring
+    (:meth:`ClusterFrontend.shard_for`) still has room — at ``shards``
+    nodes *and* at each smaller ladder rung, since the rungs' rings
+    place independently. Deterministic per profile, so the scaling
+    ladder measures parallelism rather than placement luck.
     """
-    buckets = {s: 0 for s in range(shards)}
+    total = shards * per_shard
+    rungs = [s for s in SHARD_LADDER if 1 < s <= shards] or [shards]
+    rings = {s: HashRing(range(s)) for s in rungs}
+    quotas = {s: total // s for s in rungs}
+    buckets = {s: dict.fromkeys(range(s), 0) for s in rungs}
     venues = []
     offset = 0
-    while len(venues) < shards * per_shard:
+    while len(venues) < total:
         for name in VENUE_NAMES:
             space = load_venue(name, profile,
                                seed=None if offset == 0 else seed + offset)
-            shard = int(venue_fingerprint(space)[:16], 16) % shards
-            if buckets[shard] >= per_shard:
+            fp = venue_fingerprint(space)
+            homes = {s: rings[s].node_for(fp) for s in rungs}
+            if any(buckets[s][homes[s]] >= quotas[s] for s in rungs):
                 continue
-            buckets[shard] += 1
+            for s in rungs:
+                buckets[s][homes[s]] += 1
             venues.append(
                 (space, random_objects(space, n_objects, seed=seed + len(venues)))
             )
-            if len(venues) == shards * per_shard:
+            if len(venues) == total:
                 break
         offset += 1
     return venues

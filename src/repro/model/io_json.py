@@ -20,7 +20,7 @@ from ..exceptions import VenueError
 from .entities import Door, IndoorPoint, Partition, PartitionKind
 from .geometry import Point, Rect
 from .indoor_space import IndoorSpace
-from .objects import IndoorObject, ObjectSet
+from .objects import IndoorObject, ObjectSet, UpdateOp
 
 FORMAT_VERSION = 1
 
@@ -173,3 +173,38 @@ def save_objects(objects: ObjectSet, path: str | Path) -> None:
 
 def load_objects(path: str | Path) -> ObjectSet:
     return objects_from_dict(json.loads(Path(path).read_text()))
+
+
+def op_to_dict(op: UpdateOp | None) -> dict | None:
+    """JSON document for one :class:`UpdateOp` (``None`` passes through).
+
+    The shared normal form for update operations at rest and on the
+    wire: the serving protocol frames ops this way, and the per-venue
+    operation log (:mod:`repro.storage.oplog`) persists the same
+    document — so a logged op replays bit-exactly on any replica.
+    """
+    if op is None:
+        return None
+    location = op.location
+    return {
+        "kind": op.kind,
+        "object_id": op.object_id,
+        "location": None if location is None else
+            [location.partition_id, location.x, location.y],
+        "label": op.label,
+        "category": op.category,
+    }
+
+
+def op_from_dict(doc: dict | None) -> UpdateOp | None:
+    if doc is None:
+        return None
+    location = doc["location"]
+    return UpdateOp(
+        kind=doc["kind"],
+        object_id=doc["object_id"],
+        location=None if location is None else
+            IndoorPoint(int(location[0]), float(location[1]), float(location[2])),
+        label=doc.get("label", ""),
+        category=doc.get("category", ""),
+    )

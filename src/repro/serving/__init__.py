@@ -74,16 +74,20 @@ from .frontend import FrontendStats, ServingFrontend
 from .protocol import (
     CONTROL_KINDS,
     ErrorResponse,
+    FAULT_KINDS,
     QUERY_KINDS,
+    READ_KINDS,
     Request,
     Response,
 )
 from .replay import ServingReport, concurrent_replay, sequential_replay
+from .ring import DEFAULT_VNODES, HashRing
 from .router import (
     PeriodicFlusher,
     REQUEST_KINDS,
     RouterStats,
     ServingRequest,
+    VENUE_ROLES,
     VenueRouter,
 )
 from .shard import ShardProcess, ShardWorker
@@ -92,10 +96,14 @@ __all__ = [
     "CONTROL_KINDS",
     "ClusterFrontend",
     "ClusterStats",
+    "DEFAULT_VNODES",
     "ErrorResponse",
+    "FAULT_KINDS",
     "FrontendStats",
+    "HashRing",
     "PeriodicFlusher",
     "QUERY_KINDS",
+    "READ_KINDS",
     "REQUEST_KINDS",
     "Request",
     "Response",
@@ -105,6 +113,7 @@ __all__ = [
     "ServingRequest",
     "ShardProcess",
     "ShardWorker",
+    "VENUE_ROLES",
     "VenueRouter",
     "concurrent_replay",
     "sequential_replay",

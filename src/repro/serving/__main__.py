@@ -17,6 +17,11 @@ Examples:
     python -m repro.serving serve --catalog .snapshots --venue MC \\
         --profile tiny --shards 2 --port 0 --events 200
 
+    # 2-way replication: each venue gets a primary plus a log-tailing
+    # read replica on another shard; reads fan out across both
+    python -m repro.serving serve --catalog .snapshots --venue MC \\
+        --venue Men-2 --shards 4 --replication 2 --port 0
+
 ``--venue`` accepts a generator name (MC, MC-2, Men, Men-2, CL, CL-2)
 or a path to a venue JSON file written by ``repro.model.save_space``;
 repeat the flag to serve several venues. ``--workers`` bounds the
@@ -170,21 +175,25 @@ def _self_test(address, venues, events: int, seed: int, window: int = 64) -> int
             flat.extend(Request.from_event(vid, e) for e in stream)
 
         pending: set[int] = set()
-        failed = 0
+        errors: dict[str, int] = {}
+
+        def account(got) -> None:
+            pending.discard(got.request_id)
+            if not isinstance(got, Response):
+                key = f"{got.error}: {got.message}"
+                errors[key] = errors.get(key, 0) + 1
+
         start = time.perf_counter()
         for request in flat:
             while len(pending) >= window:
-                got = reply_from_doc(recv_doc(sock))
-                pending.discard(got.request_id)
-                failed += not isinstance(got, Response)
+                account(reply_from_doc(recv_doc(sock)))
             send_doc(sock, request_to_doc(request, next_id))
             pending.add(next_id)
             next_id += 1
         while pending:
-            got = reply_from_doc(recv_doc(sock))
-            pending.discard(got.request_id)
-            failed += not isinstance(got, Response)
+            account(reply_from_doc(recv_doc(sock)))
         seconds = time.perf_counter() - start
+        failed = sum(errors.values())
 
         stats = call(Request(venue="", kind="stats")).value()
         print(
@@ -192,6 +201,8 @@ def _self_test(address, venues, events: int, seed: int, window: int = 64) -> int
             f"({len(flat) / seconds:,.0f} events/s, window={window}, "
             f"{failed} failed)"
         )
+        for key, n in sorted(errors.items(), key=lambda kv: -kv[1]):
+            print(f"self-test: {n}x {key}")
         print(f"self-test: cluster stats {stats}")
         return 1 if failed else 0
     finally:
@@ -205,7 +216,8 @@ def _cmd_serve(args) -> int:
     venues = []
     names: dict[str, str] = {}
     with ClusterFrontend(
-        catalog, shards=args.shards, flush_interval=args.flush_interval,
+        catalog, shards=args.shards, replication=args.replication,
+        flush_interval=args.flush_interval, oplog=not args.no_oplog,
     ) as cluster:
         for i, name in enumerate(args.venue):
             space = _resolve_venue(name, args.profile, args.seed)
@@ -214,13 +226,16 @@ def _cmd_serve(args) -> int:
             vid = cluster.add_venue(space, objects=objects)
             names[vid] = space.name
             venues.append((space, objects, vid))
-            print(f"registered {space.name!r} -> shard "
-                  f"{cluster.shard_for(vid)} ({vid[:12]})")
+            placement = cluster.placement(vid)
+            print(f"registered {space.name!r} -> primary shard "
+                  f"{placement[0]}, replicas {placement[1:] or '[]'} "
+                  f"({vid[:12]})")
 
         server = socket.create_server(("127.0.0.1", args.port))
         host, port = server.getsockname()
         print(f"serving {len(venues)} venue(s) on {host}:{port} "
-              f"({args.shards} shard(s), {args.workers} connection worker(s))")
+              f"({args.shards} shard(s), replication={args.replication}, "
+              f"{args.workers} connection worker(s))")
 
         stopping = threading.Event()
         connection_slots = threading.Semaphore(args.workers)
@@ -280,13 +295,21 @@ def main(argv=None) -> int:
                        help="objects per venue on cold build (0: none)")
     serve.add_argument("--shards", type=int, default=4,
                        help="shard processes (the parallelism)")
+    serve.add_argument("--replication", type=int, default=1,
+                       help="copies of each venue: 1 primary plus N-1 "
+                            "log-tailing read replicas (default 1)")
+    serve.add_argument("--no-oplog", action="store_true",
+                       help="disable the per-venue operation log "
+                            "(restores the snapshot-only durability "
+                            "window; incompatible with --replication > 1)")
     serve.add_argument("--workers", type=int, default=8,
                        help="max concurrently served client connections")
     serve.add_argument("--port", type=int, default=0,
                        help="TCP port (0: ephemeral, printed on startup)")
     serve.add_argument("--flush-interval", type=float, default=30.0,
                        help="per-shard background flush period in seconds "
-                            "(the durability window; 0 disables)")
+                            "(with the oplog: bounds log length; without: "
+                            "the durability window; 0 disables)")
     serve.add_argument("--events", type=int, default=0,
                        help="self-test mode: replay N query events per venue "
                             "through a TCP client, print throughput, exit")

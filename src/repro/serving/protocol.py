@@ -52,17 +52,28 @@ from ..exceptions import (
     VenueError,
 )
 from ..model.entities import IndoorPoint
-from ..model.io_json import canonical_dumps
+from ..model.io_json import canonical_dumps, op_from_dict, op_to_dict
 from ..model.objects import UpdateOp
 from ..model.packing import pack_f64, pack_i64, unpack_f64, unpack_i64
 
 #: engine-backed request kinds (dispatched by ``VenueRouter.execute``)
 QUERY_KINDS = ("distance", "path", "knn", "range", "update")
+#: query kinds replicas may answer — everything except ``update``,
+#: which must go through the venue's single-writer primary
+READ_KINDS = ("distance", "path", "knn", "range")
+#: fault-injection kinds: the worker dies *without* flushing, exactly
+#: like a SIGKILL — tests use them to prove restart, failover, and
+#: log-recovery behavior. ``crash`` dies on receipt;
+#: ``crash_after_n_ops`` arms a countdown (payload ``{"updates": n}``)
+#: that lets the next *n* updates through and kills the worker on the
+#: one after — mid-update-stream, before it is applied or acked;
+#: ``drop_connection`` closes the socket first (a partition as seen by
+#: the parent: clean EOF, not a crash exit code) and then dies.
+FAULT_KINDS = ("crash", "crash_after_n_ops", "drop_connection")
 #: worker-level control kinds (handled by ``ShardWorker``/cluster, not
-#: by an engine). ``crash`` is a fault-injection hook: the worker
-#: process exits immediately without flushing — tests use it to prove
-#: restart + durability-window behavior.
-CONTROL_KINDS = ("add_venue", "ping", "stats", "flush", "shutdown", "crash")
+#: by an engine), including the fault-injection hooks above.
+CONTROL_KINDS = ("add_venue", "remove_venue", "ping", "stats", "flush",
+                 "shutdown") + FAULT_KINDS
 #: every kind a protocol request may carry
 REQUEST_KINDS = QUERY_KINDS + CONTROL_KINDS
 
@@ -175,28 +186,11 @@ def _point_from_doc(doc) -> IndoorPoint | None:
     return IndoorPoint(int(doc[0]), float(doc[1]), float(doc[2]))
 
 
-def _op_to_doc(op: UpdateOp | None):
-    if op is None:
-        return None
-    return {
-        "kind": op.kind,
-        "object_id": op.object_id,
-        "location": _point_to_doc(op.location),
-        "label": op.label,
-        "category": op.category,
-    }
-
-
-def _op_from_doc(doc) -> UpdateOp | None:
-    if doc is None:
-        return None
-    return UpdateOp(
-        kind=doc["kind"],
-        object_id=doc["object_id"],
-        location=_point_from_doc(doc["location"]),
-        label=doc.get("label", ""),
-        category=doc.get("category", ""),
-    )
+# Op documents are the shared :mod:`repro.model.io_json` normal form —
+# the per-venue operation log persists the identical shape, so a logged
+# op and a framed op are byte-for-byte the same canonical JSON.
+_op_to_doc = op_to_dict
+_op_from_doc = op_from_dict
 
 
 def request_to_doc(request: Request, request_id: int) -> dict:

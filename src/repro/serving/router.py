@@ -16,19 +16,40 @@ that served updates is first snapshotted back into its catalog slot
 (*write-back*), so its object state survives eviction and the next
 request for that venue warm-starts from where it left off.
 
+Replication roles (``oplog=True``)
+----------------------------------
+With the per-venue operation log enabled, every venue is registered in
+one of two roles:
+
+* a **primary** applies updates and appends each one to the venue's
+  :class:`~repro.storage.oplog.OpLog` *before acknowledging it* — so
+  an acked update survives any crash — and compacts the log whenever
+  a write-back snapshots the state it covers,
+* a **replica** refuses updates and *tails* the log instead: before
+  answering a request it stats the log file and applies any records
+  past its engine's object-set version. Replicas never write
+  snapshots back (a lagging replica must not clobber newer primary
+  state) and never compact (only the single writer may rewrite the
+  file another process is appending to).
+
+Warm starts in either role replay the log tail on top of the loaded
+snapshot, which is what makes a restart lose nothing.
+
 Thread safety: every public method may be called from any thread. The
 router holds one internal mutex around its pool bookkeeping; engine
 warm starts happen *outside* that mutex (serialized per venue by the
 catalog's slot locks), so a slow cold build for one venue never blocks
 requests for another.
 
-Lock ordering (outermost first): router mutex -> engine locks /
-catalog locks. Warm starts (slow cold builds) happen with the router
-mutex *released*; only eviction write-back runs under it — a deliberate
-stall that makes "save then drop" atomic against a concurrent re-load
-of the same venue from the stale file. Engines and the catalog never
-call back into the router, so the ordering is acyclic and
-deadlock-free.
+Lock ordering (outermost first): router mutex -> per-venue log lock ->
+engine locks / catalog locks. Warm starts (slow cold builds) happen
+with the router mutex *released*; only eviction write-back runs under
+it — a deliberate stall that makes "save then drop" atomic against a
+concurrent re-load of the same venue from the stale file. The log lock
+is taken before the engine lock everywhere (apply + append must be one
+atomic step against the flusher's save + compact). Engines and the
+catalog never call back into the router, so the ordering is acyclic
+and deadlock-free.
 """
 
 from __future__ import annotations
@@ -36,14 +57,22 @@ from __future__ import annotations
 import random
 import threading
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+#: stand-in context manager for "no log lock needed" paths
+_NO_LOCK = nullcontext()
+
 from ..engine.engine import QueryEngine
-from ..exceptions import ServingError
+from ..exceptions import ServingError, SnapshotError
 from ..model.indoor_space import IndoorSpace
 from ..storage.catalog import SnapshotCatalog
+from ..storage.oplog import OpLog, oplog_path
 from ..storage.snapshot import venue_fingerprint
 from .protocol import QUERY_KINDS, Request
+
+#: roles a venue may be registered under (see the module docstring)
+VENUE_ROLES = ("primary", "replica")
 
 #: request kinds the router dispatches (mirrors the engine API).
 #: Control kinds (:data:`repro.serving.protocol.CONTROL_KINDS`) are
@@ -59,12 +88,27 @@ ServingRequest = Request
 @dataclass(slots=True)
 class _VenueSlot:
     """Registration record for one venue (static; read-only after
-    :meth:`VenueRouter.add_venue`)."""
+    :meth:`VenueRouter.add_venue` — a role change is a re-registration,
+    which replaces the slot)."""
 
     space: IndoorSpace
     kind: str
     objects: object = None
     builder: object = None
+    role: str = "primary"
+
+
+class _VenueLog:
+    """Per-venue log bookkeeping: the :class:`OpLog`, the lock that
+    makes apply+append (and save+compact) atomic, and the last seen
+    tail signature so an in-sync venue costs one ``stat`` per request."""
+
+    __slots__ = ("log", "lock", "synced_sig")
+
+    def __init__(self, log: OpLog) -> None:
+        self.log = log
+        self.lock = threading.Lock()
+        self.synced_sig = object()  # never equals a real signature
 
 
 @dataclass(slots=True)
@@ -77,6 +121,11 @@ class RouterStats:
     warm_starts: int = 0
     evictions: int = 0
     write_backs: int = 0
+    #: operations appended to venue logs (primaries only)
+    log_appends: int = 0
+    #: operations replayed *from* venue logs (warm-start recovery and
+    #: replica tailing combined)
+    log_replays: int = 0
     by_venue: dict = field(default_factory=dict)
 
 
@@ -93,6 +142,16 @@ class VenueRouter:
         mmap: memory-map snapshot binary sections on warm start instead
             of copying them into each engine — the shard worker turns
             this on so sibling engines of one venue share page cache.
+        oplog: keep a durable per-venue operation log next to each
+            snapshot (see the module docstring): primaries append every
+            applied update before acking, replicas tail the log, and
+            warm starts replay the tail — zero acknowledged updates are
+            lost on a crash. Off by default (the single-process
+            frontends keep their snapshot-only durability window); the
+            cluster turns it on.
+        oplog_sync: fsync each appended record (the durability
+            guarantee). ``False`` keeps replication working but lets a
+            host power-loss eat the OS write-back window.
         **engine_kwargs: forwarded to every :class:`QueryEngine`
             (``thread_safe=True`` is always enforced — a pooled engine
             is by definition shared).
@@ -108,12 +167,16 @@ class VenueRouter:
         capacity: int = 8,
         kind: str = "VIP-Tree",
         mmap: bool = False,
+        oplog: bool = False,
+        oplog_sync: bool = True,
         **engine_kwargs,
     ) -> None:
         self.catalog = catalog
         self.capacity = int(capacity)
         self.default_kind = kind
         self.mmap = bool(mmap)
+        self.oplog = bool(oplog)
+        self.oplog_sync = bool(oplog_sync)
         engine_kwargs["thread_safe"] = True
         self._engine_kwargs = engine_kwargs
         self._mutex = threading.Lock()
@@ -124,7 +187,14 @@ class VenueRouter:
         self._warm_starts = 0
         self._evictions = 0
         self._write_backs = 0
+        self._log_appends = 0
+        self._log_replays = 0
         self._by_venue: dict[str, int] = {}
+        # Per-venue log state, created lazily on first logged access.
+        # Guarded by its own tiny lock so log bookkeeping never contends
+        # with the pool mutex.
+        self._log_guard = threading.Lock()
+        self._logs: dict[str, _VenueLog] = {}
         #: update count already persisted per venue — write-back and
         #: flush() only re-serialize engines dirty since their last save
         self._saved_updates: dict[str, int] = {}
@@ -134,23 +204,54 @@ class VenueRouter:
     # Registration
     # ------------------------------------------------------------------
     def add_venue(self, space: IndoorSpace, *, kind: str | None = None,
-                  objects=None, builder=None) -> str:
+                  objects=None, builder=None, role: str = "primary") -> str:
         """Register a venue and return its id (the venue fingerprint).
 
         ``objects``/``builder`` are used only if this venue's engine is
         ever cold-built (no snapshot in the catalog yet) — a loaded
         snapshot serves the object set it was saved with. Registering
         the same venue twice is idempotent (the latest registration
-        wins).
+        wins) — which is also how a role changes: re-register with the
+        new ``role`` and the pooled engine is kept (a promoted replica
+        catches up from the log, it does not re-warm-start).
+
+        ``role`` only matters with the operation log enabled: a
+        ``"replica"`` refuses updates and tails the venue's log instead
+        of writing snapshots back.
 
         Thread safety: safe from any thread.
         """
+        if role not in VENUE_ROLES:
+            raise ServingError(
+                f"unknown venue role {role!r}; expected one of {VENUE_ROLES}"
+            )
         venue_id = venue_fingerprint(space)
         slot = _VenueSlot(space=space, kind=kind or self.default_kind,
-                          objects=objects, builder=builder)
+                          objects=objects, builder=builder, role=role)
         with self._mutex:
             self._venues[venue_id] = slot
         return venue_id
+
+    def remove_venue(self, venue_id: str) -> bool:
+        """Drop a venue: unregister it, write back its engine if it is
+        a dirty primary, close its log handle. Returns whether the
+        venue was registered. In-flight requests for the venue finish
+        on their pinned engine; later ones fail as unknown.
+
+        Thread safety: safe from any thread.
+        """
+        with self._mutex:
+            slot = self._venues.pop(venue_id, None)
+            engine = self._engines.pop(venue_id, None)
+            if engine is not None and slot is not None:
+                if self._write_back(venue_id, engine, slot):
+                    self._write_backs += 1
+            self._saved_updates.pop(venue_id, None)
+        with self._log_guard:
+            state = self._logs.pop(venue_id, None)
+        if state is not None:
+            state.log.close()
+        return slot is not None
 
     def venue_ids(self) -> list[str]:
         """Registered venue ids, in registration order."""
@@ -204,10 +305,7 @@ class VenueRouter:
 
         # Warm start outside the router mutex: the catalog slot lock
         # serializes concurrent builds of the same venue.
-        fresh = self.catalog.engine_for(
-            slot.space, slot.kind, objects=slot.objects, builder=slot.builder,
-            mmap=self.mmap, **self._engine_kwargs,
-        )
+        fresh = self._warm_start(venue_id, slot)
         with self._mutex:
             engine = self._engines.get(venue_id)
             if engine is None:
@@ -223,6 +321,29 @@ class VenueRouter:
             if pin:
                 self._inflight[venue_id] = self._inflight.get(venue_id, 0) + 1
             return engine, pin
+
+    def _warm_start(self, venue_id: str, slot: _VenueSlot) -> QueryEngine:
+        """Load-or-build the venue's engine and, with the log enabled,
+        replay the log tail on top of it — *before* the engine is
+        published to the pool, so nobody observes pre-recovery state.
+        A compaction racing the load (snapshot newer than the one we
+        read) is retried once against the fresh files."""
+        for attempt in (0, 1):
+            engine = self.catalog.engine_for(
+                slot.space, slot.kind, objects=slot.objects,
+                builder=slot.builder, mmap=self.mmap, **self._engine_kwargs,
+            )
+            if not self._logged(slot, engine):
+                return engine
+            state = self._log_state(venue_id, slot)
+            try:
+                with state.lock:
+                    self._replay_locked(engine, state)
+                return engine
+            except SnapshotError:
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _release(self, venue_id: str) -> None:
         with self._mutex:
@@ -253,26 +374,100 @@ class VenueRouter:
                 return  # everything busy: soft bound, retry on next insert
             engine = self._engines.pop(victim)
             self._evictions += 1
-            if self._write_back(victim, engine):
+            if self._write_back(victim, engine, self._venues.get(victim)):
                 self._write_backs += 1
 
-    def _write_back(self, venue_id: str, engine: QueryEngine) -> bool:
-        """Persist ``engine`` to its catalog slot if it is dirty —
-        i.e. has served updates since its last write-back. Runs under
-        the engine's read lock, so the saved state is point-in-time
-        consistent: concurrent updates wait, concurrent queries do not.
+    def _write_back(self, venue_id: str, engine: QueryEngine,
+                    slot: _VenueSlot | None) -> bool:
+        """Persist ``engine`` to its catalog slot if it is a dirty
+        *primary* — i.e. has served updates since its last write-back.
+        Runs under the engine's read lock, so the saved state is
+        point-in-time consistent: concurrent updates wait, concurrent
+        queries do not. With the log enabled the save also compacts the
+        venue's log (the snapshot now covers those records), holding
+        the log lock across both so no append lands between them.
+        Replicas never write back: a lagging replica snapshotting over
+        the primary's newer state would un-apply acknowledged updates.
         Returns whether a snapshot was written.
         """
-        with engine.lock.read():
-            updates = engine.stats().updates
-            if updates <= self._saved_updates.get(venue_id, 0):
-                return False
-            self.catalog.save(
-                engine.index,
-                engine.object_index if engine.object_index is not None else engine.objects,
-            )
+        if slot is not None and self.oplog and slot.role != "primary":
+            return False
+        state = (self._log_state(venue_id, slot)
+                 if slot is not None and self._logged(slot, engine) else None)
+        with state.lock if state is not None else _NO_LOCK:
+            with engine.lock.read():
+                updates = engine.stats().updates
+                if updates <= self._saved_updates.get(venue_id, 0):
+                    return False
+                self.catalog.save(
+                    engine.index,
+                    engine.object_index if engine.object_index is not None else engine.objects,
+                )
+                saved_version = (engine.objects.version
+                                 if engine.objects is not None else 0)
+            if state is not None:
+                state.log.compact(saved_version)
         self._saved_updates[venue_id] = updates
         return True
+
+    # ------------------------------------------------------------------
+    # Operation log (replication roles)
+    # ------------------------------------------------------------------
+    def _logged(self, slot: _VenueSlot, engine: QueryEngine) -> bool:
+        """Whether this venue participates in the operation log —
+        requires the log to be enabled *and* an engine that actually
+        carries mutable object state."""
+        return self.oplog and engine.objects is not None
+
+    def _log_state(self, venue_id: str, slot: _VenueSlot) -> _VenueLog:
+        with self._log_guard:
+            state = self._logs.get(venue_id)
+            if state is None:
+                path = oplog_path(self.catalog.path_for(slot.space, slot.kind))
+                state = _VenueLog(OpLog(path, sync=self.oplog_sync))
+                self._logs[venue_id] = state
+            return state
+
+    def _replay_locked(self, engine: QueryEngine, state: _VenueLog) -> int:
+        """Apply every log record past the engine's object-set version
+        (caller holds the log lock). Raises
+        :class:`~repro.exceptions.SnapshotError` when the log was
+        compacted past the engine — the caller re-warm-starts."""
+        records = state.log.read(after_version=engine.objects.version)
+        for record in records:
+            engine.update(record.op)
+        state.synced_sig = state.log.tail_signature()
+        if records:
+            # not the router mutex: flush holds it while waiting on the
+            # log lock, and the caller holds the log lock right now
+            with self._log_guard:
+                self._log_replays += len(records)
+        return len(records)
+
+    def _sync_from_log(self, venue_id: str, slot: _VenueSlot,
+                       engine: QueryEngine) -> None:
+        """Catch the engine up with its venue's log — the replica read
+        path (and a just-promoted primary's first touch). In-sync costs
+        one ``stat``; behind costs replaying the delta."""
+        state = self._log_state(venue_id, slot)
+        if state.log.tail_signature() == state.synced_sig:
+            return
+        with state.lock:
+            if state.log.tail_signature() == state.synced_sig:
+                return
+            self._replay_locked(engine, state)
+
+    def log_positions(self) -> dict:
+        """``{venue_id: object-set version}`` for every pooled engine
+        with object state — the log positions the shard ``stats`` frame
+        reports, letting operators see replica lag at a glance."""
+        with self._mutex:
+            engines = list(self._engines.items())
+        return {
+            vid: engine.objects.version
+            for vid, engine in engines
+            if engine.objects is not None
+        }
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -297,6 +492,21 @@ class VenueRouter:
             with self._mutex:
                 self._requests += 1
                 self._by_venue[request.venue] = self._by_venue.get(request.venue, 0) + 1
+                slot = self._venues.get(request.venue)
+            if slot is not None and self._logged(slot, engine):
+                try:
+                    if request.kind == "update":
+                        return self._logged_update(request, slot, engine)
+                    self._sync_from_log(request.venue, slot, engine)
+                except SnapshotError:
+                    # The log was compacted past this engine (it lagged
+                    # across a primary's snapshot+compact). Its state is
+                    # not wrong, just unreachable from the log — drop it
+                    # and re-warm from the newer snapshot, which replays
+                    # the surviving tail.
+                    engine = self._refresh_engine(request.venue, engine)
+                    if request.kind == "update":
+                        return self._logged_update(request, slot, engine)
             kind = request.kind
             if kind == "distance":
                 return engine.distance(request.source, request.target)
@@ -314,6 +524,41 @@ class VenueRouter:
         finally:
             if pinned:
                 self._release(request.venue)
+
+    def _logged_update(self, request: ServingRequest, slot: _VenueSlot,
+                       engine: QueryEngine):
+        """The primary's update path: catch up from the log (a freshly
+        promoted primary may be behind its predecessor's appends), apply,
+        then durably append — all under the venue's log lock, so the
+        logged version sequence exactly mirrors the applied one. The op
+        is acknowledged only after the append returns, which is what
+        makes 'acknowledged' mean 'survives any crash'."""
+        if slot.role != "primary":
+            raise ServingError(
+                f"venue {request.venue[:12]!r} is a read replica here; "
+                "updates must go to the venue's primary"
+            )
+        state = self._log_state(request.venue, slot)
+        with state.lock:
+            self._replay_locked(engine, state)
+            result = engine.update(request.op)
+            state.log.append(engine.objects.version, request.op)
+            state.synced_sig = state.log.tail_signature()
+        with self._log_guard:
+            self._log_appends += 1
+        return result
+
+    def _refresh_engine(self, venue_id: str, stale: QueryEngine) -> QueryEngine:
+        """Replace a pooled engine that can no longer catch up from the
+        log with a fresh warm start (keeping the pin accounting intact)."""
+        with self._mutex:
+            if self._engines.get(venue_id) is stale:
+                del self._engines[venue_id]
+                self._saved_updates.pop(venue_id, None)
+        # pin accounting is per venue, not per engine object — the pin
+        # taken on the stale engine keeps guarding the fresh one
+        engine, _ = self._acquire(venue_id, pin=False)
+        return engine
 
     # ------------------------------------------------------------------
     def flush(self) -> int:
@@ -337,7 +582,7 @@ class VenueRouter:
             items = list(self._engines.items())
             written = 0
             for venue_id, engine in items:
-                if self._write_back(venue_id, engine):
+                if self._write_back(venue_id, engine, self._venues.get(venue_id)):
                     written += 1
                     self._write_backs += 1
         return written
@@ -394,6 +639,8 @@ class VenueRouter:
                 warm_starts=self._warm_starts,
                 evictions=self._evictions,
                 write_backs=self._write_backs,
+                log_appends=self._log_appends,
+                log_replays=self._log_replays,
                 by_venue=dict(self._by_venue),
             )
 

@@ -28,9 +28,18 @@ Lifecycle and durability:
   flushes dirty engines once more on graceful drain/shutdown — so the
   **durability window** is at most one flush interval of updates, zero
   after a clean drain,
-* a ``crash`` request makes the worker exit immediately *without*
-  flushing (fault injection: tests use it to prove restart behavior
-  and the documented durability window),
+* the fault-injection kinds (:data:`~repro.serving.protocol.
+  FAULT_KINDS`) make the worker die *without* flushing: ``crash``
+  immediately, ``crash_after_n_ops`` mid-update-stream after letting
+  ``n`` more updates through (the fatal update is neither applied nor
+  acknowledged), ``drop_connection`` after closing the socket first —
+  a partition as the parent sees it. Tests use them to prove restart,
+  failover and log-recovery behavior,
+* with ``oplog=True`` the router keeps a durable per-venue operation
+  log: primaries append each acked update, replicas (``add_venue``
+  with ``role: "replica"`` in the payload) tail it — a restarted shard
+  then recovers every acknowledged update (snapshot + log tail), not
+  just the last flush,
 * when the connection drops or the process dies, the handle fails
   every in-flight future with :class:`~repro.exceptions.ServingError`
   — the cluster layer restarts the shard and callers retry.
@@ -50,6 +59,7 @@ from ..model.io_json import objects_from_dict, space_from_dict
 from ..storage.catalog import SnapshotCatalog
 from .protocol import (
     CONTROL_KINDS,
+    FAULT_KINDS,
     Request,
     Response,
     encode_frame,
@@ -88,6 +98,11 @@ class ShardWorker:
             (default ``True``): shard processes of one host serving the
             same catalog then share the bulk index pages through the OS
             page cache instead of each holding a private copy.
+        oplog: enable the per-venue operation log (see
+            :mod:`repro.storage.oplog`): primaries append every acked
+            update, replicas tail, warm starts replay the tail. The
+            cluster turns this on for replication and zero-ack-loss
+            recovery.
 
     Single-threaded by design: one shard process serves one request at
     a time, and CPU parallelism comes from running many shard
@@ -104,11 +119,15 @@ class ShardWorker:
         capacity: int = 8,
         flush_interval: float = DEFAULT_FLUSH_INTERVAL,
         mmap: bool = True,
+        oplog: bool = False,
     ) -> None:
         self.shard_id = int(shard_id)
         self.router = VenueRouter(SnapshotCatalog(catalog_root), capacity=capacity,
-                                  kind=kind, mmap=mmap)
+                                  kind=kind, mmap=mmap, oplog=oplog)
         self.requests = 0
+        #: armed ``crash_after_n_ops`` countdown (``None`` = disarmed):
+        #: how many more updates to serve before dying on the next one
+        self.crash_after: int | None = None
         self._flusher = (
             self.router.start_auto_flush(flush_interval, seed=shard_id)
             if flush_interval > 0 else None
@@ -134,7 +153,15 @@ class ShardWorker:
             objects_doc = payload.get("objects")
             objects = objects_from_dict(objects_doc) if objects_doc else None
             return self.router.add_venue(space, kind=payload.get("kind"),
-                                         objects=objects)
+                                         objects=objects,
+                                         role=payload.get("role", "primary"))
+        if kind == "remove_venue":
+            return self.router.remove_venue(request.venue)
+        if kind == "crash_after_n_ops":
+            # Arm the countdown; the serve loop enforces it (the fatal
+            # update must die before being applied or acknowledged).
+            self.crash_after = int((request.payload or {}).get("updates", 0))
+            return self.crash_after
         if kind == "ping":
             return {"shard": self.shard_id, "pid": os.getpid(),
                     "venues": len(self.router.venue_ids())}
@@ -145,6 +172,10 @@ class ShardWorker:
                 "pid": os.getpid(),
                 "requests": self.requests,
                 "router": asdict(self.router.stats()),
+                # per-venue object-set versions: the log positions this
+                # shard has applied (replica lag is visible by diffing
+                # these across the venue's shards)
+                "log_positions": self.router.log_positions(),
                 "flusher": None if flusher is None else {
                     "interval": flusher.interval,
                     "cycles": flusher.cycles,
@@ -156,6 +187,10 @@ class ShardWorker:
             return self.router.flush()
         if kind == "shutdown":
             return self.router.flush()
+        if kind in FAULT_KINDS:  # pragma: no cover - serve() intercepts
+            raise ServingError(
+                f"fault kind {kind!r} is only meaningful over a socket"
+            )
         raise ServingError(f"control kind {kind!r} not servable by a shard")
 
     def serve(self, sock) -> None:
@@ -177,6 +212,23 @@ class ShardWorker:
                     # Fault injection: die *without* flushing, exactly
                     # like a SIGKILL — the durability window applies.
                     os._exit(2)
+                if request.kind == "drop_connection":
+                    # Partition-style fault: the parent sees a clean
+                    # EOF (not a crash exit), then the process dies
+                    # without flushing.
+                    try:
+                        sock.shutdown(socket.SHUT_RDWR)
+                        sock.close()
+                    except OSError:  # pragma: no cover - already gone
+                        pass
+                    os._exit(3)
+                if self.crash_after is not None and request.kind == "update":
+                    if self.crash_after <= 0:
+                        # The armed op: die before applying or acking —
+                        # mid-update-stream, exactly the window where a
+                        # lost ack would show up as divergence.
+                        os._exit(2)
+                    self.crash_after -= 1
                 try:
                     value = self.handle(request)
                     reply = Response(request_id, result_to_doc(value))
@@ -204,7 +256,8 @@ def _no_delay(sock: socket.socket) -> None:
 
 
 def _shard_entry(port: int, catalog_root: str, shard_id: int, kind: str,
-                 capacity: int, flush_interval: float, mmap: bool = True) -> None:
+                 capacity: int, flush_interval: float, mmap: bool = True,
+                 oplog: bool = False) -> None:
     """Child-process entry point: connect back to the parent and serve."""
     sock = socket.create_connection(("127.0.0.1", port), timeout=_CONNECT_TIMEOUT)
     sock.settimeout(None)  # the timeout is for the connect, not the serve
@@ -212,7 +265,7 @@ def _shard_entry(port: int, catalog_root: str, shard_id: int, kind: str,
     try:
         worker = ShardWorker(
             catalog_root, shard_id=shard_id, kind=kind, capacity=capacity,
-            flush_interval=flush_interval, mmap=mmap,
+            flush_interval=flush_interval, mmap=mmap, oplog=oplog,
         )
         worker.serve(sock)
     finally:
@@ -250,6 +303,7 @@ class ShardProcess:
         flush_interval: float = DEFAULT_FLUSH_INTERVAL,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         mmap: bool = True,
+        oplog: bool = False,
         mp_context=None,
     ) -> None:
         if max_inflight < 1:
@@ -260,6 +314,7 @@ class ShardProcess:
         self.capacity = int(capacity)
         self.flush_interval = float(flush_interval)
         self.mmap = bool(mmap)
+        self.oplog = bool(oplog)
         self.max_inflight = int(max_inflight)
         self._mp_context = mp_context
         self.process = None
@@ -291,7 +346,8 @@ class ShardProcess:
             self.process = ctx.Process(
                 target=_shard_entry,
                 args=(port, self.catalog_root, self.shard_id, self.kind,
-                      self.capacity, self.flush_interval, self.mmap),
+                      self.capacity, self.flush_interval, self.mmap,
+                      self.oplog),
                 name=f"repro-shard-{self.shard_id}",
                 daemon=True,
             )

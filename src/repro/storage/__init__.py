@@ -17,6 +17,9 @@ across process lifetimes:
   fingerprint and index kind (multi-venue serving), with
   :meth:`~SnapshotCatalog.engine_for` as the load-or-build warm-start
   entry point,
+* :class:`OpLog` (:mod:`repro.storage.oplog`) — a durable, checksummed
+  per-venue update log next to each snapshot: warm restart = snapshot
+  + log tail, replicas tail it, acknowledged updates survive crashes,
 * ``python -m repro.storage`` — ``build`` / ``load`` / ``verify`` /
   ``ls`` CLI over files and catalogs,
 * :func:`venue_fingerprint` — the reproducible venue hash snapshots are
@@ -29,6 +32,13 @@ the single-venue case. Every failure mode raises
 
 from .catalog import SnapshotCatalog
 from .codec import build_index, decode_index, encode_index, known_kinds, resolve_kind
+from .oplog import (
+    LogRecord,
+    OPLOG_SUFFIX,
+    OpLog,
+    oplog_path,
+    scan_oplog,
+)
 from .snapshot import (
     FORMAT_VERSION,
     SNAPSHOT_SUFFIX,
@@ -43,11 +53,16 @@ from .snapshot import (
 
 __all__ = [
     "FORMAT_VERSION",
+    "LogRecord",
+    "OPLOG_SUFFIX",
+    "OpLog",
     "SNAPSHOT_SUFFIX",
     "Snapshot",
     "SnapshotCatalog",
     "SnapshotInfo",
     "build_index",
+    "oplog_path",
+    "scan_oplog",
     "decode_index",
     "encode_index",
     "known_kinds",

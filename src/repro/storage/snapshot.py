@@ -46,6 +46,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -303,8 +304,12 @@ def save_snapshot(path: str | Path, index, objects=None) -> SnapshotInfo:
     out.parent.mkdir(parents=True, exist_ok=True)
     # Atomic publish: a crash mid-write must never leave a truncated
     # file at the canonical path (the catalog treats existence as
-    # "snapshot available" and would keep failing to load it).
-    tmp = out.with_name(out.name + ".tmp")
+    # "snapshot available" and would keep failing to load it). The
+    # temp name is unique per writer — replicated shards cold-build
+    # the same venue from separate processes, and a shared temp name
+    # lets one writer publish another's half-written file.
+    tmp = out.with_name(
+        f"{out.name}.tmp.{os.getpid()}.{threading.get_ident()}")
     head = canonical_dumps(header).encode("utf-8")
     if binary:
         # Align the header line (newline included) to 8 bytes with JSON
@@ -319,8 +324,12 @@ def save_snapshot(path: str | Path, index, objects=None) -> SnapshotInfo:
         # 8-aligned) starts at an 8-aligned file offset — page-aligned
         # mmap + aligned offset = aligned numpy views
         prefix += b"\x00" * ((-len(prefix)) % 8)
-    tmp.write_bytes(prefix + binary)
-    os.replace(tmp, out)
+    try:
+        tmp.write_bytes(prefix + binary)
+        os.replace(tmp, out)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return _info_from_header(header, out)
 
 

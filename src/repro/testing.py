@@ -1,13 +1,24 @@
-"""Reusable test helpers: handcrafted fixture venues and point samplers.
+"""Reusable test helpers: fixture venues, point samplers, and the
+cluster fault-injection harness.
 
 Shared by the test suite (``tests/conftest.py``) and importable from
 anywhere on ``sys.path`` — unlike a ``conftest.py``, whose module name
 collides between the ``tests/`` and ``benchmarks/`` suites.
+
+The fault-injection side (:class:`ClusterFaultHarness`,
+:func:`tear_oplog_tail`, :func:`corrupt_oplog_tail`) packages the
+chaos moves the replication suite performs — killing primaries
+mid-update-stream, partitioning replicas, damaging log tails — so any
+test (or benchmark) can stage a failure in one line and then assert
+recovery against sequential replay. Serving imports are lazy: loading
+this module costs nothing for tests that only need a fixture venue.
 """
 
 from __future__ import annotations
 
 import random
+import time
+from pathlib import Path
 
 from .model.builder import IndoorSpaceBuilder
 from .model.entities import IndoorPoint
@@ -85,3 +96,165 @@ def sample_points(space: IndoorSpace, count: int, seed: int = 5) -> list[IndoorP
             )
         )
     return points
+
+
+# ----------------------------------------------------------------------
+# Cluster fault injection
+# ----------------------------------------------------------------------
+def wait_until(predicate, timeout: float = 30.0, interval: float = 0.01) -> bool:
+    """Poll ``predicate`` until it is true (returns ``True``, so it can
+    sit inside an ``assert``); raise on timeout."""
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"condition not reached within {timeout}s")
+        time.sleep(interval)
+    return True
+
+
+class ClusterFaultHarness:
+    """Stage failures against a :class:`~repro.serving.ClusterFrontend`.
+
+    One-line chaos moves for tests and benchmarks::
+
+        harness = ClusterFaultHarness(cluster)
+        dead = harness.kill_primary(vid)        # SIGKILL-style, no flush
+        harness.partition_replica(vid)          # connection drop
+        harness.crash_after_updates(shard, 3)   # dies on the 4th update
+
+    Every kill waits until the parent observes the death, so the next
+    submitted request deterministically exercises the failover path
+    instead of racing the reaper.
+    """
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+
+    # -- placement ------------------------------------------------------
+    def primary_of(self, venue_id: str) -> int:
+        return self.cluster.placement(venue_id)[0]
+
+    def replicas_of(self, venue_id: str) -> list[int]:
+        return self.cluster.placement(venue_id)[1:]
+
+    # -- faults ---------------------------------------------------------
+    def _inject_fatal(self, shard: int, kind: str) -> int:
+        handle = self.cluster._shard(shard)
+        try:
+            self.cluster.inject_fault(shard, kind).result(timeout=30.0)
+        except Exception:  # noqa: BLE001 - dying is the point
+            pass
+        wait_until(lambda: not handle.alive)
+        return shard
+
+    def kill(self, shard: int) -> int:
+        """Crash one shard without flushing; blocks until it is dead."""
+        return self._inject_fatal(shard, "crash")
+
+    def partition(self, shard: int) -> int:
+        """Drop one shard's connection (clean EOF, no flush); blocks
+        until the parent has marked it dead."""
+        return self._inject_fatal(shard, "drop_connection")
+
+    def kill_primary(self, venue_id: str) -> int:
+        """Crash the venue's current primary; returns its shard id."""
+        return self.kill(self.primary_of(venue_id))
+
+    def kill_replica(self, venue_id: str) -> int:
+        """Crash the venue's first replica; returns its shard id."""
+        replicas = self.replicas_of(venue_id)
+        if not replicas:
+            raise ValueError(f"venue {venue_id[:12]!r} has no replicas")
+        return self.kill(replicas[0])
+
+    def partition_replica(self, venue_id: str) -> int:
+        """Partition the venue's first replica; returns its shard id."""
+        replicas = self.replicas_of(venue_id)
+        if not replicas:
+            raise ValueError(f"venue {venue_id[:12]!r} has no replicas")
+        return self.partition(replicas[0])
+
+    def crash_after_updates(self, shard: int, updates: int) -> None:
+        """Arm ``shard`` to die on its ``updates + 1``-th update request
+        — *before* applying or acknowledging it. Because the fatal op
+        is never acked, retrying it after failover is exactly-once."""
+        self.cluster.inject_fault(
+            shard, "crash_after_n_ops", payload={"updates": int(updates)}
+        ).result(timeout=30.0)
+
+    # -- recovery-safe submission --------------------------------------
+    def apply_update(self, venue_id: str, op, *, attempts: int = 8):
+        """Submit one update, retrying across a primary death.
+
+        Only safe when a failed attempt is known not to have been
+        applied (the :meth:`crash_after_updates` fault guarantees this;
+        an arbitrary mid-apply kill does not — a blind retry there
+        could double-apply). Returns the update's result.
+        """
+        from .exceptions import ServingError
+        from .serving.protocol import Request
+
+        last: Exception | None = None
+        for _ in range(attempts):
+            try:
+                return self.cluster.submit(
+                    Request(venue=venue_id, kind="update", op=op)
+                ).result(timeout=60.0)
+            except ServingError as exc:
+                last = exc  # dead shard observed: failover, then retry
+                time.sleep(0.05)
+        raise last
+
+    def read(self, venue_id: str, kind: str, *, attempts: int = 8, **fields):
+        """Submit one read, retrying across shard deaths (reads are
+        idempotent, so blind retries are always safe)."""
+        from .exceptions import ServingError
+        from .serving.protocol import Request
+
+        last: Exception | None = None
+        for _ in range(attempts):
+            try:
+                return self.cluster.submit(
+                    Request(venue=venue_id, kind=kind, **fields)
+                ).result(timeout=60.0)
+            except ServingError as exc:
+                last = exc
+                time.sleep(0.05)
+        raise last
+
+
+# ----------------------------------------------------------------------
+# Operation-log tampering (crash/corruption simulation)
+# ----------------------------------------------------------------------
+def venue_oplog_path(catalog_root, space: IndoorSpace,
+                     kind: str = "VIP-Tree") -> Path:
+    """Where the venue's operation log lives under ``catalog_root``."""
+    from .storage.catalog import SnapshotCatalog
+    from .storage.oplog import oplog_path
+
+    return oplog_path(SnapshotCatalog(catalog_root).path_for(space, kind))
+
+
+def tear_oplog_tail(path: str | Path) -> None:
+    """Simulate a crash mid-append: a record header promising more
+    bytes than follow. The torn record was never fsynced to completion,
+    hence never acknowledged — recovery must serve exactly the valid
+    prefix and the next writer must repair the tail."""
+    with open(path, "ab") as fh:
+        fh.write(b"\x00\x00\x40\x00\xde\xad\xbe\xef torn")
+
+
+def corrupt_oplog_tail(path: str | Path) -> int:
+    """Flip one byte inside the last valid record's payload (bit rot /
+    partial sector write). Returns the version of the record destroyed
+    — recovery must stop at the record before it."""
+    from .storage.oplog import scan_oplog
+
+    path = Path(path)
+    scan = scan_oplog(path)
+    if not scan.records:
+        raise ValueError(f"{path}: no valid records to corrupt")
+    blob = bytearray(path.read_bytes())
+    blob[scan.valid_bytes - 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    return scan.records[-1].version

@@ -397,8 +397,11 @@ class TestClusterFrontend:
             return Request(venue=vid, kind="update",
                            op=UpdateOp(kind="delete", object_id=object_id))
 
+        # oplog=False: this test pins down the *snapshot-only* durability
+        # semantics; with the operation log on (the default) nothing
+        # acknowledged is ever lost — tests/test_replication.py covers that.
         with ClusterFrontend(tmp_path / "cat", shards=1,
-                             flush_interval=0) as cluster:
+                             flush_interval=0, oplog=False) as cluster:
             vid = cluster.add_venue(space, objects=objects)
             kept = cluster.submit(insert()).result()
             assert cluster.flush() >= 1  # closes the window behind `kept`
@@ -436,10 +439,24 @@ class TestClusterFrontend:
     def test_shard_for_is_stable_and_validates(self, tmp_path):
         with pytest.raises(ServingError, match="shards"):
             ClusterFrontend(tmp_path / "cat", shards=0)
+        with pytest.raises(ServingError, match="replication"):
+            ClusterFrontend(tmp_path / "cat", shards=2, replication=0)
+        with pytest.raises(ServingError, match="oplog"):
+            ClusterFrontend(tmp_path / "cat", shards=2, replication=2,
+                            oplog=False)
+        # Placement comes from the consistent-hash ring: stable across
+        # frontend instances over the same shard count, and always a
+        # valid shard id.
+        from repro.serving import HashRing
+
+        ring = HashRing(range(3))
         cluster = ClusterFrontend(tmp_path / "cat", shards=3, flush_interval=0)
-        assert cluster.shard_for("ab12cd34ab12cd34ff") == \
-            int("ab12cd34ab12cd34", 16) % 3
-        cluster.shutdown()
+        try:
+            for vid in ("ab12cd34ab12cd34ff", "00ff" * 16, "deadbeef"):
+                assert cluster.shard_for(vid) == ring.node_for(vid)
+                assert cluster.shard_for(vid) in (0, 1, 2)
+        finally:
+            cluster.shutdown()
 
 
 # ----------------------------------------------------------------------

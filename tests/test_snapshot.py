@@ -476,3 +476,51 @@ class TestEngineWarmStart:
         assert [(n.distance, n.object_id) for n in engine.knn(pts[0], 3)] == [
             (n.distance, n.object_id) for n in loaded.knn(pts[0], 3)
         ]
+
+
+class TestConcurrentSaves:
+    def test_racing_writers_never_publish_a_partial_file(
+            self, mall_space, tmp_path):
+        """Replicated shards cold-build one venue from separate
+        processes and save concurrently. A shared temp-file name let
+        one writer publish another's half-written (even empty) file;
+        unique per-writer temp names make every published snapshot a
+        complete one. Hammer the save path from racing threads while a
+        reader loads in a loop — nothing may ever raise."""
+        import threading
+        import time
+
+        tree = VIPTree.build(mall_space)
+        objects = random_objects(mall_space, 8, seed=3)
+        path = tmp_path / "venue.snap"
+        save_snapshot(path, tree, objects)
+
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer():
+            while not stop.is_set():
+                try:
+                    save_snapshot(path, tree, objects)
+                except Exception as exc:  # noqa: BLE001 - the regression
+                    errors.append(exc)
+                    return
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    load_snapshot(path, space=mall_space)
+                except Exception as exc:  # noqa: BLE001 - the regression
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads.append(threading.Thread(target=reader))
+        for t in threads:
+            t.start()
+        time.sleep(0.4)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors, f"concurrent save/load raised: {errors[:3]}"
+        assert not list(tmp_path.glob("*.tmp*")), "stray temp files left"
