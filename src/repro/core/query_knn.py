@@ -52,6 +52,7 @@ class _Search:
         query,
         ctx: "QueryContext | None" = None,
         kernels=None,
+        stats: QueryStats | None = None,
     ) -> None:
         if index.tree is not tree:
             raise QueryError("object index was built for a different tree")
@@ -77,7 +78,9 @@ class _Search:
                 kernels=kernels,
             )
             self.node_dists = dict(chain_map)
-        self.stats = QueryStats()
+        # An out-parameter when the caller wants the counters (the
+        # engine's stats= plumbing); otherwise a private scratch object.
+        self.stats = stats if stats is not None else QueryStats()
 
     # ------------------------------------------------------------------
     def child_distances(self, parent_id: int, child_id: int) -> dict[int, float]:
@@ -209,16 +212,20 @@ def knn(
     k: int,
     ctx: "QueryContext | None" = None,
     kernels=None,
+    stats: QueryStats | None = None,
 ) -> list[Neighbor]:
     """Algorithm 5: the k nearest objects to ``query`` by indoor distance.
 
     Ties at the k-th distance break on the smaller ``object_id`` (the
     result set is the k lexicographically smallest ``(distance,
     object_id)`` pairs), matching the brute-force oracle exactly.
+    ``stats`` is an optional out-parameter: pass a
+    :class:`~repro.core.results.QueryStats` to have the search count
+    its work into it.
     """
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
-    search = _Search(tree, index, query, ctx, kernels)
+    search = _Search(tree, index, query, ctx, kernels, stats)
     if search.kernels is not None:
         # Array backends may answer the whole query eagerly (every
         # node's distances in a few level-batched ops) instead of

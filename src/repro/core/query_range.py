@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING
 from ..exceptions import QueryError
 from .objects_index import ObjectIndex
 from .query_knn import _Search
-from .results import Neighbor
+from .results import Neighbor, QueryStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from .context import QueryContext
@@ -27,11 +27,16 @@ def range_query(
     radius: float,
     ctx: "QueryContext | None" = None,
     kernels=None,
+    stats: QueryStats | None = None,
 ) -> list[Neighbor]:
-    """All objects within ``radius`` of ``query``, sorted by distance."""
+    """All objects within ``radius`` of ``query``, sorted by distance.
+
+    ``stats`` is an optional out-parameter, as in
+    :func:`~repro.core.query_knn.knn`.
+    """
     if radius < 0:
         raise QueryError(f"radius must be non-negative, got {radius}")
-    search = _Search(tree, index, query, ctx, kernels)
+    search = _Search(tree, index, query, ctx, kernels, stats)
     if search.kernels is not None:
         # See query_knn.knn: eager array backends answer whole queries.
         full = getattr(search.kernels, "range_full", None)

@@ -24,6 +24,23 @@ class QueryStats:
     list_entries_scanned: int = 0
     #: True when the query was answered by the same-leaf Dijkstra fallback
     same_leaf: bool = False
+    #: True when the engine answered from its result/distance cache
+    #: (the other counters then describe zero work — the cached entry's
+    #: original cost was counted when it was computed)
+    cache_hit: bool = False
+
+    def merge(self, other: "QueryStats") -> "QueryStats":
+        """Fold ``other``'s work into this object (counters add, flags
+        or): the accumulation primitive behind the engine's ``stats=``
+        out-parameters and batch totals. Returns ``self``."""
+        self.pairs_considered += other.pairs_considered
+        self.superior_pairs += other.superior_pairs
+        self.nodes_visited += other.nodes_visited
+        self.heap_pops += other.heap_pops
+        self.list_entries_scanned += other.list_entries_scanned
+        self.same_leaf = self.same_leaf or other.same_leaf
+        self.cache_hit = self.cache_hit or other.cache_hit
+        return self
 
 
 @dataclass(slots=True)

@@ -503,15 +503,19 @@ class IPTree:
 
         return shortest_path(self, source, target, ctx)
 
-    def knn(self, object_index, query, k: int, ctx=None, kernels=None):
+    def knn(self, object_index, query, k: int, ctx=None, kernels=None,
+            stats=None):
         from .query_knn import knn
 
-        return knn(self, object_index, query, k, ctx, kernels=kernels)
+        return knn(self, object_index, query, k, ctx, kernels=kernels,
+                   stats=stats)
 
-    def range_query(self, object_index, query, radius: float, ctx=None, kernels=None):
+    def range_query(self, object_index, query, radius: float, ctx=None,
+                    kernels=None, stats=None):
         from .query_range import range_query
 
-        return range_query(self, object_index, query, radius, ctx, kernels=kernels)
+        return range_query(self, object_index, query, radius, ctx,
+                           kernels=kernels, stats=stats)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, fields
+from time import perf_counter
 
 from ..baselines.distmx import DistanceMatrix, DistMxObjects
 from ..baselines.oracle import DijkstraOracle
@@ -73,6 +74,8 @@ from ..exceptions import QueryError
 from ..kernels import resolve_kernels
 from ..model.entities import IndoorPoint
 from ..model.objects import UpdateOp
+from ..obs.registry import counter_entry, gauge_entry
+from ..obs.stats import StatsDoc
 from .cache import LRUCache
 from .locking import NULL_LOCK, NULL_RWLOCK, RWLock
 
@@ -80,7 +83,7 @@ _MISSING = object()
 
 
 @dataclass(slots=True)
-class EngineStats:
+class EngineStats(StatsDoc):
     """Monotone engine counters — a snapshot returned by
     :meth:`QueryEngine.stats`.
 
@@ -181,6 +184,18 @@ def _sym_key(ka: tuple, kb: tuple) -> tuple:
     return (ka, kb) if ka <= kb else (kb, ka)
 
 
+def _collect_engine_stats(engine: "QueryEngine"):
+    """Registry collector: export :class:`EngineStats` counters as
+    registry metrics. Held weakly by the registry — an evicted engine's
+    series retire when the engine is garbage-collected."""
+    s = engine.stats()
+    for f in fields(s):
+        yield counter_entry(f"engine_{f.name}_total", getattr(s, f.name))
+    samples = s.hits + s.misses
+    yield gauge_entry("engine_cache_hit_ratio", s.hit_rate, agg="mean",
+                      n=max(samples, 1))
+
+
 class QueryEngine:
     """Serve streams of spatial queries against one built index.
 
@@ -219,6 +234,16 @@ class QueryEngine:
             instance (see :mod:`repro.kernels`). Answers are
             bit-identical across backends; only speed changes. Ignored
             for non-tree indexes.
+        registry: optional
+            :class:`~repro.obs.registry.MetricsRegistry`. When set, the
+            engine records per-kind query and update latency histograms
+            (``engine_query_seconds{kind=...}`` /
+            ``engine_update_seconds``), counts queries by kernel
+            backend (``engine_kernel_queries_total{backend=...}``) and
+            registers a weakly-held collector exporting every
+            :class:`EngineStats` counter plus an
+            ``engine_cache_hit_ratio`` gauge. ``None`` (default) keeps
+            the hot path entirely instrumentation-free.
     """
 
     def __init__(
@@ -232,10 +257,32 @@ class QueryEngine:
         context_cache_size: int = 16384,
         thread_safe: bool = False,
         kernels="auto",
+        registry=None,
     ) -> None:
         self.index = index
         self._is_tree = isinstance(index, IPTree)
         self.kernels = resolve_kernels(kernels) if self._is_tree else None
+        self.registry = registry
+        if registry is not None:
+            self._query_timers = {
+                kind: registry.histogram("engine_query_seconds", kind=kind)
+                for kind in ("distance", "path", "knn", "range")
+            }
+            self._update_timer = registry.histogram("engine_update_seconds")
+            if not self._is_tree:
+                backend = "none"
+            elif self.kernels is None:
+                backend = "python"
+            else:
+                backend = getattr(self.kernels, "name",
+                                  type(self.kernels).__name__)
+            self._kernel_counter = registry.counter(
+                "engine_kernel_queries_total", backend=backend)
+            registry.register_collector(self, _collect_engine_stats)
+        else:
+            self._query_timers = None
+            self._update_timer = None
+            self._kernel_counter = None
         self.cache_enabled = bool(cache)
         self._context_cache_size = context_cache_size
         self.thread_safe = bool(thread_safe)
@@ -406,35 +453,73 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Single-query API
     # ------------------------------------------------------------------
-    def distance(self, source, target) -> float:
+    def distance(self, source, target, *, stats=None) -> float:
         """Shortest indoor distance between two endpoints.
+
+        ``stats`` is an optional :class:`~repro.core.results.QueryStats`
+        out-parameter — the query's work counters are merged into it
+        (``cache_hit`` set on a cache hit; other counters then stay
+        zero).
 
         Thread safety (``thread_safe=True``): callable from any thread
         concurrently; object-independent, so it is never blocked by
         updates."""
-        return self._distance(source, target, self.ctx)
+        timers = self._query_timers
+        if timers is None:
+            return self._distance(source, target, self.ctx, stats)
+        start = perf_counter()
+        try:
+            return self._distance(source, target, self.ctx, stats)
+        finally:
+            timers["distance"].observe(perf_counter() - start)
 
-    def path(self, source, target) -> PathResult:
+    def path(self, source, target, *, stats=None) -> PathResult:
         """Shortest path; baselines' ``(distance, doors)`` tuples are
-        normalized into :class:`PathResult`.
+        normalized into :class:`PathResult`. ``stats`` as in
+        :meth:`distance`.
 
         Thread safety: as :meth:`distance` — concurrent-safe, never
         blocked by updates."""
-        return self._path(source, target, self.ctx)
+        timers = self._query_timers
+        if timers is None:
+            return self._path(source, target, self.ctx, stats)
+        start = perf_counter()
+        try:
+            return self._path(source, target, self.ctx, stats)
+        finally:
+            timers["path"].observe(perf_counter() - start)
 
-    def knn(self, query, k: int) -> list[Neighbor]:
-        """The k nearest objects to ``query``.
+    def knn(self, query, k: int, *, stats=None) -> list[Neighbor]:
+        """The k nearest objects to ``query``. ``stats`` as in
+        :meth:`distance`.
 
         Thread safety: concurrent-safe; takes the read lock, so it
         observes every update entirely or not at all."""
-        return self._knn(query, k, self.ctx)
+        timers = self._query_timers
+        if timers is None:
+            return self._knn(query, k, self.ctx, stats)
+        self._kernel_counter.inc()
+        start = perf_counter()
+        try:
+            return self._knn(query, k, self.ctx, stats)
+        finally:
+            timers["knn"].observe(perf_counter() - start)
 
-    def range_query(self, query, radius: float) -> list[Neighbor]:
-        """All objects within ``radius`` of ``query``.
+    def range_query(self, query, radius: float, *, stats=None) -> list[Neighbor]:
+        """All objects within ``radius`` of ``query``. ``stats`` as in
+        :meth:`distance`.
 
         Thread safety: concurrent-safe; takes the read lock, so it
         observes every update entirely or not at all."""
-        return self._range(query, radius, self.ctx)
+        timers = self._query_timers
+        if timers is None:
+            return self._range(query, radius, self.ctx, stats)
+        self._kernel_counter.inc()
+        start = perf_counter()
+        try:
+            return self._range(query, radius, self.ctx, stats)
+        finally:
+            timers["range"].observe(perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Batch API — amortizes endpoint resolution and tree climbs across
@@ -506,11 +591,15 @@ class QueryEngine:
         query observes a half-applied update, and no update runs while
         such a query reads the object index.
         """
+        timer = self._update_timer
+        start = perf_counter() if timer is not None else 0.0
         with self._lock.write():
             result = self._apply_update(op)
             with self._mutex:
                 self._updates += 1
                 self._invalidate_object_caches_locked()
+        if timer is not None:
+            timer.observe(perf_counter() - start)
         return result
 
     def batch_update(self, ops) -> list:
@@ -524,12 +613,16 @@ class QueryEngine:
         concurrent queries see the object population either before the
         batch or after it, never in between.
         """
+        timer = self._update_timer
+        start = perf_counter() if timer is not None else 0.0
         with self._lock.write():
             results = [self._apply_update(op) for op in ops]
             with self._mutex:
                 self._updates += len(results)
                 if results:
                     self._invalidate_object_caches_locked()
+        if timer is not None:
+            timer.observe(perf_counter() - start)
         return results
 
     def _apply_update(self, op: UpdateOp):
@@ -589,44 +682,57 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _distance(self, source, target, ctx) -> float:
+    def _distance(self, source, target, ctx, stats=None) -> float:
         # Distance queries never read object state, so they skip the
         # RWLock entirely — only the cache/counter mutex is taken.
         cache = self._dist_cache
         if cache is None:
             with self._mutex:
                 self._counts["distance"] += 1
-            return self._raw_distance(source, target, ctx)
+            return self._raw_distance(source, target, ctx, stats)
         key = _sym_key(endpoint_key(source), endpoint_key(target))
         with self._mutex:
             self._counts["distance"] += 1
             hit = cache.get(key, _MISSING)
         if hit is not _MISSING:
+            if stats is not None:
+                stats.cache_hit = True
             return hit
-        d = self._raw_distance(source, target, ctx)
+        d = self._raw_distance(source, target, ctx, stats)
         with self._mutex:
             cache[key] = d
         return d
 
-    def _raw_distance(self, source, target, ctx) -> float:
+    def _raw_distance(self, source, target, ctx, stats=None) -> float:
         if self._is_tree:
-            return self.index.shortest_distance(source, target, ctx, kernels=self.kernels)
+            if stats is None:
+                return self.index.shortest_distance(source, target, ctx, kernels=self.kernels)
+            result = self.index.distance_query(source, target, ctx, kernels=self.kernels)
+            stats.merge(result.stats)
+            return result.distance
         return self.index.shortest_distance(source, target)
 
-    def _path(self, source, target, ctx) -> PathResult:
+    def _path(self, source, target, ctx, stats=None) -> PathResult:
         # Like _distance: object-independent, no RWLock needed.
         cache = self._path_cache
         if cache is None:
             with self._mutex:
                 self._counts["path"] += 1
-            return self._raw_path(source, target, ctx)
+            res = self._raw_path(source, target, ctx)
+            if stats is not None:
+                stats.merge(res.stats)
+            return res
         key = (endpoint_key(source), endpoint_key(target))
         with self._mutex:
             self._counts["path"] += 1
             hit = cache.get(key, _MISSING)
         if hit is not _MISSING:
+            if stats is not None:
+                stats.cache_hit = True
             return hit
         res = self._raw_path(source, target, ctx)
+        if stats is not None:
+            stats.merge(res.stats)
         with self._mutex:
             cache[key] = res
         return res
@@ -643,7 +749,7 @@ class QueryEngine:
             raise QueryError(f"{type(index).__name__} does not support path queries")
         return PathResult(dist, list(doors))
 
-    def _knn(self, query, k: int, ctx) -> list[Neighbor]:
+    def _knn(self, query, k: int, ctx, stats=None) -> list[Neighbor]:
         # Object-dependent: the whole query (version check, cache
         # consultation, tree search over the object index) runs under
         # the read lock so no update mutates the embedding mid-search.
@@ -653,24 +759,27 @@ class QueryEngine:
             if cache is None:
                 with self._mutex:
                     self._counts["knn"] += 1
-                return self._raw_knn(query, k, ctx)
+                return self._raw_knn(query, k, ctx, stats)
             key = (endpoint_key(query), k)
             with self._mutex:
                 self._counts["knn"] += 1
                 hit = cache.get(key, _MISSING)
             if hit is not _MISSING:
+                if stats is not None:
+                    stats.cache_hit = True
                 return list(hit)
-            res = self._raw_knn(query, k, ctx)
+            res = self._raw_knn(query, k, ctx, stats)
             with self._mutex:
                 cache[key] = tuple(res)
             return res
 
-    def _raw_knn(self, query, k: int, ctx) -> list[Neighbor]:
+    def _raw_knn(self, query, k: int, ctx, stats=None) -> list[Neighbor]:
         index = self.index
         if self._is_tree:
             if self.object_index is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")
-            return index.knn(self.object_index, query, k, ctx, kernels=self.kernels)
+            return index.knn(self.object_index, query, k, ctx, kernels=self.kernels,
+                             stats=stats)
         if isinstance(index, DijkstraOracle):
             if self.objects is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")
@@ -683,7 +792,7 @@ class QueryEngine:
             raise QueryError(f"{type(index).__name__} does not support kNN queries")
         return [Neighbor(object_id=oid, distance=d) for d, oid in ranked]
 
-    def _range(self, query, radius: float, ctx) -> list[Neighbor]:
+    def _range(self, query, radius: float, ctx, stats=None) -> list[Neighbor]:
         # Object-dependent: runs under the read lock, like _knn.
         with self._lock.read():
             self._check_object_version()
@@ -691,24 +800,27 @@ class QueryEngine:
             if cache is None:
                 with self._mutex:
                     self._counts["range"] += 1
-                return self._raw_range(query, radius, ctx)
+                return self._raw_range(query, radius, ctx, stats)
             key = (endpoint_key(query), radius)
             with self._mutex:
                 self._counts["range"] += 1
                 hit = cache.get(key, _MISSING)
             if hit is not _MISSING:
+                if stats is not None:
+                    stats.cache_hit = True
                 return list(hit)
-            res = self._raw_range(query, radius, ctx)
+            res = self._raw_range(query, radius, ctx, stats)
             with self._mutex:
                 cache[key] = tuple(res)
             return res
 
-    def _raw_range(self, query, radius: float, ctx) -> list[Neighbor]:
+    def _raw_range(self, query, radius: float, ctx, stats=None) -> list[Neighbor]:
         index = self.index
         if self._is_tree:
             if self.object_index is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")
-            return index.range_query(self.object_index, query, radius, ctx, kernels=self.kernels)
+            return index.range_query(self.object_index, query, radius, ctx, kernels=self.kernels,
+                                     stats=stats)
         if isinstance(index, DijkstraOracle):
             if self.objects is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")

@@ -1,0 +1,73 @@
+"""Observability CLI: ``python -m repro.obs dump``.
+
+Fetches the merged, quantile-annotated metrics of a running
+``python -m repro.serving serve`` cluster over the framed wire
+protocol (the ``metrics`` request kind) and prints them as JSON or
+Prometheus text::
+
+    python -m repro.obs dump --port 7707
+    python -m repro.obs dump --port 7707 --prometheus
+
+This talks to the serving port itself, so it works whether or not the
+server was started with ``--metrics-port``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+
+from .registry import render_prometheus
+
+
+def _cmd_dump(args) -> int:
+    # Imported here: repro.serving depends on repro.obs, not the other
+    # way around — the CLI is the one place the arrow reverses.
+    from ..serving.protocol import (
+        Request,
+        recv_doc,
+        reply_from_doc,
+        request_to_doc,
+        send_doc,
+    )
+
+    request = Request(venue="", kind="metrics")
+    with socket.create_connection((args.host, args.port), timeout=args.timeout) as sock:
+        send_doc(sock, request_to_doc(request, 0))
+        reply = reply_from_doc(recv_doc(sock))
+    snapshot = reply.value()
+    if args.prometheus:
+        sys.stdout.write(render_prometheus(snapshot))
+    else:
+        json.dump(snapshot, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="observability tools for a running serving cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dump = sub.add_parser(
+        "dump", help="fetch and print a cluster's merged metrics")
+    dump.add_argument("--host", default="127.0.0.1",
+                      help="serving host (default: 127.0.0.1)")
+    dump.add_argument("--port", type=int, required=True,
+                      help="serving port of a running `repro.serving serve`")
+    dump.add_argument("--timeout", type=float, default=10.0,
+                      help="socket timeout in seconds (default: 10)")
+    dump.add_argument("--prometheus", action="store_true",
+                      help="render Prometheus text instead of JSON")
+    dump.set_defaults(func=_cmd_dump)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

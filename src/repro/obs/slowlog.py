@@ -1,0 +1,121 @@
+"""Structured slow-query log: threshold-triggered request records.
+
+The router times every request it executes; any that take longer than
+the configured threshold produce one structured record carrying the
+venue, request kind, measured seconds, the request's trace document
+(if the client supplied a trace id) and its
+:class:`~repro.core.results.QueryStats` document — i.e. enough to
+answer "which venue, which query shape, and was the time pruning or
+scanning" without reproducing the request.
+
+Records go three places:
+
+* an in-memory ring (:meth:`SlowQueryLog.records`, bounded by
+  ``capacity``) for tests and the stats endpoint,
+* an append-only JSONL file when ``path`` is set (one JSON object per
+  line — shard workers write
+  ``<catalog>/obs/slowlog-shard<N>.jsonl``, readable from the parent
+  process with :func:`read_slowlog`),
+* a ``repro.obs.slowlog`` :mod:`logging` warning, for whatever logging
+  setup the host application has.
+
+Threshold comparison and record assembly happen only on the slow path;
+the fast path costs the router one ``perf_counter`` pair.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+__all__ = ["SlowQueryLog", "read_slowlog"]
+
+logger = logging.getLogger("repro.obs.slowlog")
+
+
+class SlowQueryLog:
+    """Collects structured records for requests slower than
+    ``threshold`` seconds.
+
+    Args:
+        threshold: seconds; requests at or above it are recorded.
+        path: optional JSONL file to append records to (parent
+            directories are created on first write).
+        capacity: size of the in-memory ring of recent records.
+
+    Thread safety: :meth:`record` and :meth:`records` may be called
+    from any thread.
+    """
+
+    def __init__(self, threshold: float, *, path: str | Path | None = None,
+                 capacity: int = 256) -> None:
+        if threshold <= 0:
+            raise ValueError(f"slow-query threshold must be > 0, got {threshold}")
+        self.threshold = float(threshold)
+        self.path = Path(path) if path is not None else None
+        self._records: deque[dict] = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self.emitted = 0
+
+    def record(self, *, venue: str, kind: str, seconds: float,
+               trace: dict | None = None,
+               stats: dict | None = None) -> dict | None:
+        """Record one request if it crossed the threshold; returns the
+        record document, or ``None`` when the request was fast."""
+        seconds = float(seconds)
+        if seconds < self.threshold:
+            return None
+        doc = {
+            "venue": venue,
+            "kind": kind,
+            "seconds": seconds,
+            "threshold": self.threshold,
+            "ts": time.time(),
+            "trace": trace,
+            "stats": stats,
+        }
+        line = json.dumps(doc, sort_keys=True)
+        with self._lock:
+            self._records.append(doc)
+            self.emitted += 1
+            if self.path is not None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                with open(self.path, "a", encoding="utf-8") as fh:
+                    fh.write(line + "\n")
+        logger.warning("slow query: %s", line)
+        return doc
+
+    def records(self) -> list[dict]:
+        """The recent records still in the in-memory ring, oldest
+        first."""
+        with self._lock:
+            return list(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SlowQueryLog(threshold={self.threshold}, "
+                f"emitted={self.emitted}, path={self.path})")
+
+
+def read_slowlog(path: str | Path) -> list[dict]:
+    """Parse a slow-query JSONL file into record documents, oldest
+    first. A missing file is an empty log; a torn final line (crash
+    mid-append) is skipped, mirroring the op log's valid-prefix
+    discipline."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return []
+    records: list[dict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            break  # torn tail — everything before it is intact
+    return records

@@ -1,0 +1,133 @@
+"""Per-request tracing: a trace id plus named span timings.
+
+A client that wants to see *where* a request's time went supplies a
+trace id on the wire (``Request.trace``). Each layer that handles the
+request opens a :meth:`Trace.span` around its part of the work —
+``frontend.total`` at the TCP front door, ``shard.<kind>`` in the
+worker loop, ``router.<kind>`` around venue acquisition + log sync,
+``engine.<kind>`` around the index query itself — and the completed
+spans ride back on the response (``Response.trace``), so one reply
+tells the client how much of its latency was wire, queueing, log
+replay, or actual tree traversal.
+
+Plumbing between layers is a thread-local :class:`Observation`
+(installed with :func:`observing`, read with
+:func:`current_observation`): the shard worker creates one per traced
+request and the router/engine below find it without any signature
+changes on the hot path. The same object carries the ``include_stats``
+flag and the per-query :class:`~repro.core.results.QueryStats` the
+router collects for it.
+
+Wire shape of a trace document::
+
+    {"id": "<hex trace id>", "spans": [{"name": ..., "seconds": ...}]}
+
+Spans are a flat list in completion order, not a tree — layers are
+strictly nested here, so nesting is recoverable from the names, and a
+flat list keeps the codec trivial.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = [
+    "Observation",
+    "Trace",
+    "current_observation",
+    "new_trace_id",
+    "observing",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit random trace id (16 hex chars)."""
+    return os.urandom(8).hex()
+
+
+class Trace:
+    """One request's trace: an id and the spans recorded so far.
+
+    Used by one request-handling thread at a time (the serving stack
+    hands each request to exactly one worker thread per process), so
+    span recording is unsynchronized by design.
+    """
+
+    __slots__ = ("trace_id", "spans")
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = str(trace_id) if trace_id else new_trace_id()
+        self.spans: list[dict] = []
+
+    def add_span(self, name: str, seconds: float) -> None:
+        self.spans.append({"name": str(name), "seconds": float(seconds)})
+
+    @contextmanager
+    def span(self, name: str):
+        """Record the wall-clock duration of a ``with`` block as one
+        span. The span is appended on exit, even when the block
+        raises — a failed request still shows where its time went."""
+        start = perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_span(name, perf_counter() - start)
+
+    def to_doc(self) -> dict:
+        return {"id": self.trace_id, "spans": [dict(s) for s in self.spans]}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "Trace":
+        trace = cls(doc["id"])
+        trace.spans = [
+            {"name": str(s["name"]), "seconds": float(s["seconds"])}
+            for s in doc.get("spans", [])
+        ]
+        return trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.trace_id}, spans={len(self.spans)})"
+
+
+class Observation:
+    """What the current request asked to observe, and what was seen.
+
+    ``trace`` is the active :class:`Trace` (or ``None``); ``want_stats``
+    says the client asked for per-query counters; ``stats`` is filled
+    by the router with the merged
+    :class:`~repro.core.results.QueryStats` of the query it executed.
+    """
+
+    __slots__ = ("trace", "want_stats", "stats")
+
+    def __init__(self, trace: Trace | None = None,
+                 want_stats: bool = False) -> None:
+        self.trace = trace
+        self.want_stats = bool(want_stats)
+        self.stats = None
+
+
+_local = threading.local()
+
+
+@contextmanager
+def observing(obs: Observation):
+    """Install ``obs`` as the current thread's observation for the
+    duration of a ``with`` block (restores the previous one on exit,
+    so nested/self-test request paths stay correct)."""
+    prev = getattr(_local, "obs", None)
+    _local.obs = obs
+    try:
+        yield obs
+    finally:
+        _local.obs = prev
+
+
+def current_observation() -> Observation | None:
+    """The :class:`Observation` installed on this thread, if any.
+    Layers below the transport call this instead of growing trace
+    parameters on the hot path."""
+    return getattr(_local, "obs", None)

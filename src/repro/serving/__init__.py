@@ -79,6 +79,8 @@ from .protocol import (
     READ_KINDS,
     Request,
     Response,
+    stats_from_doc,
+    stats_to_doc,
 )
 from .replay import ServingReport, concurrent_replay, sequential_replay
 from .ring import DEFAULT_VNODES, HashRing
@@ -90,7 +92,7 @@ from .router import (
     VENUE_ROLES,
     VenueRouter,
 )
-from .shard import ShardProcess, ShardWorker
+from .shard import ShardProcess, ShardStats, ShardWorker
 
 __all__ = [
     "CONTROL_KINDS",
@@ -112,9 +114,12 @@ __all__ = [
     "ServingReport",
     "ServingRequest",
     "ShardProcess",
+    "ShardStats",
     "ShardWorker",
     "VENUE_ROLES",
     "VenueRouter",
     "concurrent_replay",
     "sequential_replay",
+    "stats_from_doc",
+    "stats_to_doc",
 ]

@@ -29,24 +29,36 @@ number of concurrently served client connections (each connection gets
 one handler thread; request order within a connection is preserved
 end-to-end, so per-venue update/query ordering holds for any single
 client). Venue-less control requests (``ping``/``stats``/``flush``/
-``venues``) are answered by the front door itself; everything else is
-routed to the owning shard.
+``venues``/``metrics``) are answered by the front door itself;
+everything else is routed to the owning shard.
+
+Observability: ``--metrics-port`` starts an HTTP sidecar serving the
+merged cluster metrics (``/metrics`` in Prometheus text format,
+``/metrics.json`` as a summarized JSON snapshot — also reachable over
+the wire protocol as the ``metrics`` request kind, which is what
+``python -m repro.obs dump`` speaks). ``--slow-query-ms`` turns on
+per-shard structured slow-query logs under ``<catalog>/obs/``.
+Requests carrying a ``trace`` id get their span timings (including the
+front door's ``frontend.total``) echoed on the reply.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import socket
 import threading
 import time
-from dataclasses import asdict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
+from time import perf_counter
 
 from ..datasets.multi_venue import multi_venue_streams
 from ..datasets.venues import VENUE_NAMES, load_venue
 from ..datasets.workloads import random_objects
 from ..exceptions import ProtocolError, ServingError
 from ..model.io_json import load_space
+from ..obs import render_prometheus
 from .cluster import ClusterFrontend
 from .shard import _no_delay
 from .protocol import (
@@ -63,7 +75,7 @@ from .protocol import (
 )
 
 #: front-door request kinds answered without touching a shard
-_LOCAL_KINDS = ("venues", "ping", "stats", "flush")
+_LOCAL_KINDS = ("venues", "ping", "stats", "flush", "metrics")
 
 
 def _resolve_venue(name: str, profile: str, seed: int | None):
@@ -86,9 +98,10 @@ def _handle_local(cluster: ClusterFrontend, names: dict[str, str],
         cluster.drain()  # a front-door ping is a cluster-wide barrier
         return {"ok": True}
     if request.kind == "stats":
-        stats = asdict(cluster.stats())
-        stats["by_shard"] = {str(k): v for k, v in stats["by_shard"].items()}
-        return stats
+        # StatsDoc.to_doc stringifies the by_shard keys for the wire
+        return cluster.stats().to_doc()
+    if request.kind == "metrics":
+        return cluster.metrics()
     if request.kind == "flush":
         return cluster.flush()
     raise ServingError(f"unhandled local kind {request.kind!r}")
@@ -105,14 +118,27 @@ def _serve_connection(cluster: ClusterFrontend, names: dict[str, str],
         except OSError:
             pass  # client went away; its shard work still completes
 
-    def on_done(request_id: int, future) -> None:
+    def on_done(request_id: int, future, start: float) -> None:
         try:
-            value = future.result()
+            got = future.result()
         except Exception as exc:  # noqa: BLE001 - travels as a reply
             reply(request_id, reply_to_doc(error_reply(request_id, exc)))
         else:
+            # ``got`` is the shard's Response envelope (raw_reply):
+            # re-emit its result under the client's request id, with
+            # the front door's own span appended to any trace.
+            trace_doc = got.trace
+            if trace_doc is not None:
+                trace_doc = {
+                    **trace_doc,
+                    "spans": list(trace_doc.get("spans", ())) + [
+                        {"name": "frontend.total",
+                         "seconds": perf_counter() - start}
+                    ],
+                }
             reply(request_id, reply_to_doc(
-                Response(request_id, result_to_doc(value))))
+                Response(request_id, got.result, stats=got.stats,
+                         trace=trace_doc)))
 
     try:
         while True:
@@ -120,18 +146,19 @@ def _serve_connection(cluster: ClusterFrontend, names: dict[str, str],
             if doc is None:
                 break
             request, request_id = request_from_doc(doc)
+            start = perf_counter()
             try:
                 if request.venue == "" and request.kind in _LOCAL_KINDS:
                     value = _handle_local(cluster, names, request)
                     reply(request_id, reply_to_doc(
                         Response(request_id, result_to_doc(value))))
                     continue
-                future = cluster.submit(request)
+                future = cluster.submit(request, raw_reply=True)
             except Exception as exc:  # noqa: BLE001 - travels as a reply
                 reply(request_id, reply_to_doc(error_reply(request_id, exc)))
                 continue
             future.add_done_callback(
-                lambda f, rid=request_id: on_done(rid, f))
+                lambda f, rid=request_id, t0=start: on_done(rid, f, t0))
     except (ProtocolError, OSError):
         pass  # malformed client / reset: drop the connection
     finally:
@@ -210,14 +237,56 @@ def _self_test(address, venues, events: int, seed: int, window: int = 64) -> int
 
 
 # ----------------------------------------------------------------------
+# Metrics HTTP sidecar (Prometheus scrape target)
+# ----------------------------------------------------------------------
+def _start_metrics_server(cluster: ClusterFrontend, port: int):
+    """Serve ``/metrics`` (Prometheus text) and ``/metrics.json``
+    (summarized snapshot) on ``port``; returns the running server."""
+
+    class MetricsHandler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+            try:
+                if self.path.startswith("/metrics.json"):
+                    body = json.dumps(cluster.metrics(),
+                                      sort_keys=True).encode("utf-8")
+                    ctype = "application/json"
+                elif self.path.startswith("/metrics"):
+                    body = render_prometheus(
+                        cluster.metrics()).encode("utf-8")
+                    ctype = "text/plain; version=0.0.4"
+                else:
+                    self.send_error(404, "try /metrics or /metrics.json")
+                    return
+            except Exception as exc:  # noqa: BLE001 - scrape must not kill
+                self.send_error(500, str(exc))
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *_args):  # quiet: scrapes are periodic
+            pass
+
+    server = ThreadingHTTPServer(("127.0.0.1", port), MetricsHandler)
+    threading.Thread(target=server.serve_forever,
+                     name="metrics-http", daemon=True).start()
+    return server
+
+
+# ----------------------------------------------------------------------
 def _cmd_serve(args) -> int:
     catalog = Path(args.catalog)
     catalog.mkdir(parents=True, exist_ok=True)
     venues = []
     names: dict[str, str] = {}
+    slow_threshold = (args.slow_query_ms / 1000.0
+                      if args.slow_query_ms > 0 else None)
     with ClusterFrontend(
         catalog, shards=args.shards, replication=args.replication,
         flush_interval=args.flush_interval, oplog=not args.no_oplog,
+        slow_query_threshold=slow_threshold,
     ) as cluster:
         for i, name in enumerate(args.venue):
             space = _resolve_venue(name, args.profile, args.seed)
@@ -236,6 +305,13 @@ def _cmd_serve(args) -> int:
         print(f"serving {len(venues)} venue(s) on {host}:{port} "
               f"({args.shards} shard(s), replication={args.replication}, "
               f"{args.workers} connection worker(s))")
+
+        metrics_server = None
+        if args.metrics_port is not None:
+            metrics_server = _start_metrics_server(cluster, args.metrics_port)
+            mhost, mport = metrics_server.server_address[:2]
+            print(f"metrics on http://{mhost}:{mport}/metrics "
+                  "(and /metrics.json)")
 
         stopping = threading.Event()
         connection_slots = threading.Semaphore(args.workers)
@@ -271,6 +347,9 @@ def _cmd_serve(args) -> int:
         finally:
             stopping.set()
             server.close()
+            if metrics_server is not None:
+                metrics_server.shutdown()
+                metrics_server.server_close()
 
 
 def main(argv=None) -> int:
@@ -310,6 +389,16 @@ def main(argv=None) -> int:
                        help="per-shard background flush period in seconds "
                             "(with the oplog: bounds log length; without: "
                             "the durability window; 0 disables)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="also serve merged cluster metrics over HTTP: "
+                            "/metrics (Prometheus text) and /metrics.json "
+                            "(0: ephemeral, printed on startup)")
+    serve.add_argument("--slow-query-ms", type=float, default=0.0,
+                       metavar="MS",
+                       help="structured slow-query logging: requests slower "
+                            "than this land in per-shard JSONL logs under "
+                            "<catalog>/obs/ (0: disabled)")
     serve.add_argument("--events", type=int, default=0,
                        help="self-test mode: replay N query events per venue "
                             "through a TCP client, print throughput, exit")

@@ -59,10 +59,19 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from ..exceptions import ServingError
 from ..model.indoor_space import IndoorSpace
 from ..model.io_json import objects_to_dict, space_to_dict
+from ..obs import (
+    MetricsRegistry,
+    StatsDoc,
+    counter_entry,
+    gauge_entry,
+    merge_snapshots,
+    summarize,
+)
 from ..storage.snapshot import venue_fingerprint
 from .protocol import FAULT_KINDS, READ_KINDS, Request
 from .ring import DEFAULT_VNODES, HashRing
@@ -77,8 +86,19 @@ from .shard import (
 _MOVE_WAIT = 60.0
 
 
+def _collect_cluster_stats(cluster: "ClusterFrontend"):
+    """Registry collector: cluster counters as metric fragments."""
+    s = cluster.stats()
+    yield counter_entry("cluster_submitted_total", s.submitted)
+    yield counter_entry("cluster_restarts_total", s.restarts)
+    yield counter_entry("cluster_promotions_total", s.promotions)
+    yield counter_entry("cluster_moves_total", s.moves)
+    yield gauge_entry("cluster_shards_alive", float(s.alive), agg="sum")
+    yield gauge_entry("cluster_venues", float(s.venues), agg="sum")
+
+
 @dataclass(slots=True)
-class ClusterStats:
+class ClusterStats(StatsDoc):
     """Point-in-time cluster counters.
 
     ``submitted``, ``restarts``, ``promotions`` and ``moves`` are
@@ -148,6 +168,14 @@ class ClusterFrontend:
             replicas to frozen snapshots — only meaningful with
             ``replication=1``).
         vnodes: virtual points per shard on the placement ring.
+        registry: :class:`~repro.obs.MetricsRegistry` for the cluster's
+            own series (submission counters, respawn/move durations).
+            A private one is created when not given; :meth:`metrics`
+            merges it with every live shard's registry snapshot.
+        slow_query_threshold: seconds; forwarded to every shard worker
+            — requests slower than this land in the shard's structured
+            slow-query log under ``<catalog_root>/obs/``. ``None``
+            disables slow-query logging.
         mp_context: optional :mod:`multiprocessing` context.
 
     Usable as a context manager: ``with ClusterFrontend(...) as c:``
@@ -168,6 +196,8 @@ class ClusterFrontend:
         mmap: bool = True,
         oplog: bool = True,
         vnodes: int = DEFAULT_VNODES,
+        registry: MetricsRegistry | None = None,
+        slow_query_threshold: float | None = None,
         mp_context=None,
     ) -> None:
         if shards < 1:
@@ -188,6 +218,14 @@ class ClusterFrontend:
         self.mmap = bool(mmap)
         self.restart = bool(restart)
         self.oplog = bool(oplog)
+        self.slow_query_threshold = (
+            float(slow_query_threshold)
+            if slow_query_threshold is not None else None
+        )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry.register_collector(self, _collect_cluster_stats)
+        self._respawn_timer = self.registry.histogram("cluster_respawn_seconds")
+        self._move_timer = self.registry.histogram("cluster_move_seconds")
         self._mp_context = mp_context
         self._handles: dict[int, ShardProcess | None] = {
             idx: None for idx in range(int(shards))
@@ -361,6 +399,7 @@ class ClusterFrontend:
                 ]
             if crashed:
                 handle.kill()  # reap whatever is left of the old process
+            spawn_start = perf_counter()
             fresh = ShardProcess(
                 self.catalog_root,
                 shard_id=idx,
@@ -370,6 +409,7 @@ class ClusterFrontend:
                 max_inflight=self.max_inflight,
                 mmap=self.mmap,
                 oplog=self.oplog,
+                slow_query_threshold=self.slow_query_threshold,
                 mp_context=self._mp_context,
             ).start()
             # Re-register this shard's venues with their current roles.
@@ -384,6 +424,7 @@ class ClusterFrontend:
             ]
             for vid, future in pending:
                 future.result()
+            self._respawn_timer.observe(perf_counter() - spawn_start)
             self._handles[idx] = fresh
             return fresh
 
@@ -456,6 +497,7 @@ class ClusterFrontend:
         lossless: every update acked on the old primary is in the log
         the new primary replays.
         """
+        move_start = perf_counter()
         with self._mutex:
             reg = self._registrations.get(venue_id)
             if reg is None or reg.nodes == new_nodes:
@@ -503,11 +545,13 @@ class ClusterFrontend:
             with self._mutex:
                 reg.moving = None
             gate.set()
+            self._move_timer.observe(perf_counter() - move_start)
 
     # ------------------------------------------------------------------
     # Intake
     # ------------------------------------------------------------------
-    def submit(self, request: Request, *, timeout: float | None = None) -> Future:
+    def submit(self, request: Request, *, timeout: float | None = None,
+               raw_reply: bool = False) -> Future:
         """Route one request; returns its future.
 
         Reads (:data:`~repro.serving.protocol.READ_KINDS`) rotate
@@ -515,7 +559,11 @@ class ClusterFrontend:
         primary — promoting a live replica first if the primary is
         dead. Blocks while the target shard's in-flight window is full
         (backpressure); ``timeout`` turns saturation into a
-        :class:`ServingError`.
+        :class:`ServingError`. ``raw_reply`` resolves the future to the
+        shard's :class:`~repro.serving.protocol.Response` envelope
+        (with any ``stats``/``trace`` riders) instead of the decoded
+        value — see :meth:`ShardProcess.submit
+        <repro.serving.shard.ShardProcess.submit>`.
 
         Raises:
             ServingError: unknown venue id, cluster shut down, dead
@@ -541,7 +589,9 @@ class ClusterFrontend:
                 )
         handle = (self._read_handle(reg) if is_read
                   else self._primary_handle(request.venue, reg))
-        future = handle.submit(request, timeout=timeout)
+        # Keep the plain call signature-stable (tests wrap submit).
+        future = (handle.submit(request, timeout=timeout, raw_reply=True)
+                  if raw_reply else handle.submit(request, timeout=timeout))
         with self._mutex:
             self._submitted += 1
         return future
@@ -682,6 +732,33 @@ class ClusterFrontend:
         via a ``stats`` request."""
         return [handle.call(Request(venue="", kind="stats"))
                 for handle in self._live_handles()]
+
+    def shard_metrics(self) -> list[dict]:
+        """Each live shard's registry snapshot, via a ``metrics``
+        request. A shard that dies mid-collection is skipped — the
+        scrape reflects whoever answered."""
+        snapshots = []
+        for handle in self._live_handles():
+            try:
+                snapshots.append(handle.call(Request(venue="", kind="metrics")))
+            except ServingError:
+                continue  # died mid-scrape: its series retire with it
+        return snapshots
+
+    def metrics(self) -> dict:
+        """One merged, summarized metrics snapshot for the cluster.
+
+        Merges the frontend's own registry (cluster counters,
+        respawn/move durations) with every live shard's registry
+        (engine/router/oplog/shard series) — counters and histogram
+        buckets add, gauges combine by their aggregation policy — and
+        annotates each histogram with ``p50``/``p95``/``p99``/``mean``.
+        The result is JSON-safe: ship it, or render it with
+        :func:`~repro.obs.render_prometheus`.
+        """
+        return summarize(merge_snapshots(
+            [self.registry.snapshot()] + self.shard_metrics()
+        ))
 
     # ------------------------------------------------------------------
     @property

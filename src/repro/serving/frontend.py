@@ -38,16 +38,28 @@ import queue
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass
+from time import perf_counter
 
 from ..exceptions import ServingError
+from ..obs import MetricsRegistry, StatsDoc, counter_entry, gauge_entry
 from .router import ServingRequest, VenueRouter
 
 #: queue sentinel telling a worker to exit (one per worker)
 _STOP = object()
 
 
+def _collect_frontend_stats(frontend: "ServingFrontend"):
+    """Registry collector: frontend counters as metric fragments."""
+    s = frontend.stats()
+    yield counter_entry("frontend_submitted_total", s.submitted)
+    yield counter_entry("frontend_completed_total", s.completed)
+    yield counter_entry("frontend_failed_total", s.failed)
+    yield counter_entry("frontend_rejected_total", s.rejected)
+    yield gauge_entry("frontend_queued", float(s.queued), agg="sum")
+
+
 @dataclass(slots=True)
-class FrontendStats:
+class FrontendStats(StatsDoc):
     """Point-in-time frontend counters.
 
     ``submitted``/``completed``/``failed``/``rejected`` are monotone;
@@ -77,18 +89,31 @@ class ServingFrontend:
             between venues; see ``docs/serving.md``.
         queue_size: bound of the request queue (the backpressure knob).
             ``0`` means unbounded (no backpressure — discouraged).
+        registry: optional :class:`~repro.obs.MetricsRegistry`. When
+            set, workers time every request into a per-kind
+            ``frontend_request_seconds`` histogram and the frontend's
+            counters are exported through a registry collector.
 
     Usable as a context manager: ``with ServingFrontend(router) as fe:``
     starts the workers and shuts down (draining) on exit.
     """
 
     def __init__(self, router: VenueRouter, *, workers: int = 4,
-                 queue_size: int = 1024) -> None:
+                 queue_size: int = 1024,
+                 registry: MetricsRegistry | None = None) -> None:
         if workers < 1:
             raise ServingError(f"workers must be >= 1, got {workers}")
         self.router = router
         self.workers = int(workers)
         self.queue_size = int(queue_size)
+        self.registry = registry
+        # Per-kind request timers, created lazily by workers. Guarded by
+        # the frontend mutex; read with dict.get (atomic under the GIL).
+        self._request_timers: dict[str, object] | None = (
+            {} if registry is not None else None
+        )
+        if registry is not None:
+            registry.register_collector(self, _collect_frontend_stats)
         self._queue: queue.Queue = queue.Queue(maxsize=self.queue_size)
         self._threads: list[threading.Thread] = []
         self._mutex = threading.Lock()
@@ -234,6 +259,22 @@ class ServingFrontend:
         return self.submit(ServingRequest(venue=venue, kind=kind, **fields))
 
     # ------------------------------------------------------------------
+    def _timer_for(self, kind: str):
+        """The ``frontend_request_seconds{kind=...}`` histogram, created
+        on first use (``None`` when the frontend has no registry)."""
+        timers = self._request_timers
+        if timers is None:
+            return None
+        timer = timers.get(kind)
+        if timer is None:
+            with self._mutex:
+                timer = timers.get(kind)
+                if timer is None:
+                    timer = self.registry.histogram(
+                        "frontend_request_seconds", kind=kind)
+                    timers[kind] = timer
+        return timer
+
     def _worker(self) -> None:
         while True:
             item = self._queue.get()
@@ -244,6 +285,8 @@ class ServingFrontend:
             if not future.set_running_or_notify_cancel():
                 self._queue.task_done()
                 continue
+            timer = self._timer_for(request.kind)
+            start = perf_counter() if timer is not None else 0.0
             try:
                 result = self.router.execute(request)
             except BaseException as exc:  # noqa: BLE001 - travels via the future
@@ -255,6 +298,8 @@ class ServingFrontend:
                 with self._mutex:
                     self._completed += 1
             finally:
+                if timer is not None:
+                    timer.observe(perf_counter() - start)
                 self._queue.task_done()
 
     # ------------------------------------------------------------------

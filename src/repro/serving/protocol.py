@@ -42,7 +42,7 @@ import json
 import struct
 from dataclasses import dataclass
 
-from ..core.results import Neighbor, PathResult
+from ..core.results import Neighbor, PathResult, QueryStats
 from ..exceptions import (
     ProtocolError,
     QueryError,
@@ -72,8 +72,13 @@ READ_KINDS = ("distance", "path", "knn", "range")
 FAULT_KINDS = ("crash", "crash_after_n_ops", "drop_connection")
 #: worker-level control kinds (handled by ``ShardWorker``/cluster, not
 #: by an engine), including the fault-injection hooks above.
+#: ``metrics`` returns the worker's
+#: :meth:`~repro.obs.registry.MetricsRegistry.snapshot`;
+#: ``inject_latency`` (payload ``{"seconds": s, "count": n}``) arms the
+#: router to sleep inside its next *n* timed requests — the
+#: fault-injection hook slow-query-log tests are built on.
 CONTROL_KINDS = ("add_venue", "remove_venue", "ping", "stats", "flush",
-                 "shutdown") + FAULT_KINDS
+                 "shutdown", "metrics", "inject_latency") + FAULT_KINDS
 #: every kind a protocol request may carry
 REQUEST_KINDS = QUERY_KINDS + CONTROL_KINDS
 
@@ -100,6 +105,13 @@ class Request:
     * control kinds (:data:`CONTROL_KINDS`) — ``payload`` (a JSON-safe
       dict; e.g. ``add_venue`` carries the venue document).
 
+    Two observability fields apply to any kind: ``trace`` is an
+    optional client-supplied trace id — layers that handle the request
+    record span timings under it and the response carries them back —
+    and ``include_stats`` asks the server to return the per-query
+    :class:`~repro.core.results.QueryStats` alongside the result
+    (fixing their silent drop in :func:`result_to_doc`).
+
     Instances are frozen (safe to share across threads) and serialize
     losslessly through :func:`request_to_doc` / :func:`request_from_doc`.
     """
@@ -112,6 +124,8 @@ class Request:
     radius: float = 0.0
     op: UpdateOp | None = None
     payload: dict | None = None
+    trace: str | None = None
+    include_stats: bool = False
 
     @classmethod
     def from_event(cls, venue: str, event) -> "Request":
@@ -132,14 +146,27 @@ class Request:
 
 @dataclass(slots=True, frozen=True)
 class Response:
-    """A successful reply: the request id plus its result document."""
+    """A successful reply: the request id plus its result document.
+
+    ``stats`` (a :func:`stats_to_doc` document) and ``trace`` (a
+    :class:`~repro.obs.tracing.Trace` document) ride along only when
+    the request opted in via ``include_stats`` / ``trace`` — replies
+    to plain requests are byte-identical to the pre-observability
+    wire format.
+    """
 
     request_id: int
     result: dict
+    stats: dict | None = None
+    trace: dict | None = None
 
     def value(self):
         """Decode the result document back into the in-process value."""
         return result_from_doc(self.result)
+
+    def query_stats(self) -> QueryStats | None:
+        """Decode the attached per-query counters, if any."""
+        return stats_from_doc(self.stats)
 
 
 @dataclass(slots=True, frozen=True)
@@ -205,6 +232,8 @@ def request_to_doc(request: Request, request_id: int) -> dict:
         "radius": request.radius,
         "op": _op_to_doc(request.op),
         "payload": request.payload,
+        "trace": request.trace,
+        "include_stats": request.include_stats,
     }
 
 
@@ -220,6 +249,8 @@ def request_from_doc(doc: dict) -> tuple[Request, int]:
             radius=float(doc.get("radius", 0.0)),
             op=_op_from_doc(doc.get("op")),
             payload=doc.get("payload"),
+            trace=doc.get("trace"),
+            include_stats=bool(doc.get("include_stats", False)),
         ), int(doc["id"])
     except (KeyError, TypeError, IndexError, ValueError) as exc:
         raise ProtocolError(f"malformed request document: {exc!r}") from None
@@ -234,7 +265,9 @@ def result_to_doc(value) -> dict:
     (kNN/range) and JSON-safe dicts (stats/health documents). Doubles
     as the canonical normal form for cross-transport answer comparison
     (it deliberately drops :class:`~repro.core.results.QueryStats`,
-    which describe the work done, not the answer).
+    which describe the work done, not the answer — clients that want
+    them set ``Request.include_stats`` and read them from the reply
+    envelope's ``stats`` field via :func:`stats_from_doc`).
     """
     if value is None:
         return {"t": "none"}
@@ -290,10 +323,54 @@ def result_from_doc(doc: dict):
     raise ProtocolError(f"unknown result type tag {t!r}")
 
 
+def stats_to_doc(stats: QueryStats | None) -> dict | None:
+    """Encode per-query counters for the reply envelope (``None``
+    passes through: the request did not ask for them)."""
+    if stats is None:
+        return None
+    return {
+        "pairs_considered": stats.pairs_considered,
+        "superior_pairs": stats.superior_pairs,
+        "nodes_visited": stats.nodes_visited,
+        "heap_pops": stats.heap_pops,
+        "list_entries_scanned": stats.list_entries_scanned,
+        "same_leaf": stats.same_leaf,
+        "cache_hit": stats.cache_hit,
+    }
+
+
+def stats_from_doc(doc: dict | None) -> QueryStats | None:
+    """Decode a :func:`stats_to_doc` document (``None`` passes
+    through)."""
+    if doc is None:
+        return None
+    try:
+        return QueryStats(
+            pairs_considered=int(doc.get("pairs_considered", 0)),
+            superior_pairs=int(doc.get("superior_pairs", 0)),
+            nodes_visited=int(doc.get("nodes_visited", 0)),
+            heap_pops=int(doc.get("heap_pops", 0)),
+            list_entries_scanned=int(doc.get("list_entries_scanned", 0)),
+            same_leaf=bool(doc.get("same_leaf", False)),
+            cache_hit=bool(doc.get("cache_hit", False)),
+        )
+    except (TypeError, ValueError, AttributeError) as exc:
+        raise ProtocolError(f"malformed stats document: {exc!r}") from None
+
+
 def reply_to_doc(reply: Response | ErrorResponse) -> dict:
-    """The reply's wire document (success and failure envelopes)."""
+    """The reply's wire document (success and failure envelopes).
+
+    ``stats``/``trace`` keys appear only when set, so replies to
+    requests that did not opt in stay byte-identical to the old
+    format."""
     if isinstance(reply, Response):
-        return {"id": reply.request_id, "ok": True, "result": reply.result}
+        doc = {"id": reply.request_id, "ok": True, "result": reply.result}
+        if reply.stats is not None:
+            doc["stats"] = reply.stats
+        if reply.trace is not None:
+            doc["trace"] = reply.trace
+        return doc
     return {
         "id": reply.request_id,
         "ok": False,
@@ -305,7 +382,12 @@ def reply_to_doc(reply: Response | ErrorResponse) -> dict:
 def reply_from_doc(doc: dict) -> Response | ErrorResponse:
     try:
         if doc["ok"]:
-            return Response(request_id=int(doc["id"]), result=doc["result"])
+            return Response(
+                request_id=int(doc["id"]),
+                result=doc["result"],
+                stats=doc.get("stats"),
+                trace=doc.get("trace"),
+            )
         return ErrorResponse(
             request_id=int(doc["id"]),
             error=doc["error"],

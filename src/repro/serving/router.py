@@ -56,20 +56,28 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from collections import OrderedDict
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from time import perf_counter
 
-#: stand-in context manager for "no log lock needed" paths
+#: stand-in context manager for "no log lock needed" paths (also reused
+#: for "no trace span" paths — nullcontext is stateless and reentrant)
 _NO_LOCK = nullcontext()
 
+from ..core.results import QueryStats
 from ..engine.engine import QueryEngine
 from ..exceptions import ServingError, SnapshotError
 from ..model.indoor_space import IndoorSpace
+from ..obs.registry import counter_entry, gauge_entry
+from ..obs.slowlog import SlowQueryLog
+from ..obs.stats import StatsDoc
+from ..obs.tracing import current_observation
 from ..storage.catalog import SnapshotCatalog
 from ..storage.oplog import OpLog, oplog_path
 from ..storage.snapshot import venue_fingerprint
-from .protocol import QUERY_KINDS, Request
+from .protocol import QUERY_KINDS, Request, stats_to_doc
 
 #: roles a venue may be registered under (see the module docstring)
 VENUE_ROLES = ("primary", "replica")
@@ -111,8 +119,23 @@ class _VenueLog:
         self.synced_sig = object()  # never equals a real signature
 
 
+def _collect_router_stats(router: "VenueRouter"):
+    """Registry collector: export :class:`RouterStats` counters as
+    registry metrics (weakly held; see
+    :meth:`~repro.obs.registry.MetricsRegistry.register_collector`)."""
+    s = router.stats()
+    yield counter_entry("router_requests_total", s.requests)
+    yield counter_entry("router_warm_starts_total", s.warm_starts)
+    yield counter_entry("router_evictions_total", s.evictions)
+    yield counter_entry("router_write_backs_total", s.write_backs)
+    yield counter_entry("router_log_appends_total", s.log_appends)
+    yield counter_entry("router_log_replays_total", s.log_replays)
+    yield gauge_entry("router_venues", s.venues, agg="sum")
+    yield gauge_entry("router_pooled_engines", s.pooled, agg="sum")
+
+
 @dataclass(slots=True)
-class RouterStats:
+class RouterStats(StatsDoc):
     """Point-in-time router counters (monotone except ``pooled``)."""
 
     venues: int = 0
@@ -152,6 +175,20 @@ class VenueRouter:
         oplog_sync: fsync each appended record (the durability
             guarantee). ``False`` keeps replication working but lets a
             host power-loss eat the OS write-back window.
+        registry: optional
+            :class:`~repro.obs.registry.MetricsRegistry`. When set, the
+            router times warm starts / write-backs / flush cycles /
+            oplog appends into latency histograms, exports its
+            :class:`RouterStats` counters via a weakly-held collector,
+            and forwards the registry to every engine it warm-starts
+            (so their query latency lands in the same snapshot).
+        slow_query_threshold: seconds; when set, every request is
+            timed and those at or above the threshold emit one
+            structured :class:`~repro.obs.slowlog.SlowQueryLog` record
+            (carrying the venue id, kind, trace and per-query stats).
+            ``None`` (default) disables slow-query timing entirely.
+        slowlog_path: optional JSONL file the slow-query records are
+            appended to (requires ``slow_query_threshold``).
         **engine_kwargs: forwarded to every :class:`QueryEngine`
             (``thread_safe=True`` is always enforced — a pooled engine
             is by definition shared).
@@ -169,6 +206,9 @@ class VenueRouter:
         mmap: bool = False,
         oplog: bool = False,
         oplog_sync: bool = True,
+        registry=None,
+        slow_query_threshold: float | None = None,
+        slowlog_path=None,
         **engine_kwargs,
     ) -> None:
         self.catalog = catalog
@@ -178,6 +218,28 @@ class VenueRouter:
         self.oplog = bool(oplog)
         self.oplog_sync = bool(oplog_sync)
         engine_kwargs["thread_safe"] = True
+        self.registry = registry
+        if registry is not None:
+            engine_kwargs.setdefault("registry", registry)
+            self._warm_start_timer = registry.histogram("router_warm_start_seconds")
+            self._write_back_timer = registry.histogram("router_write_back_seconds")
+            self._flush_timer = registry.histogram("router_flush_seconds")
+            self._oplog_timer = registry.histogram("oplog_append_seconds")
+            self._slow_counter = registry.counter("router_slow_queries_total")
+            registry.register_collector(self, _collect_router_stats)
+        else:
+            self._warm_start_timer = None
+            self._write_back_timer = None
+            self._flush_timer = None
+            self._oplog_timer = None
+            self._slow_counter = None
+        self.slowlog = (
+            SlowQueryLog(slow_query_threshold, path=slowlog_path)
+            if slow_query_threshold is not None else None
+        )
+        #: armed latency injection: ``[seconds, remaining]`` or ``None``
+        #: (the ``inject_latency`` control kind; mutated under the mutex)
+        self._injected_latency: list | None = None
         self._engine_kwargs = engine_kwargs
         self._mutex = threading.Lock()
         self._venues: dict[str, _VenueSlot] = {}
@@ -305,7 +367,11 @@ class VenueRouter:
 
         # Warm start outside the router mutex: the catalog slot lock
         # serializes concurrent builds of the same venue.
-        fresh = self._warm_start(venue_id, slot)
+        if self._warm_start_timer is None:
+            fresh = self._warm_start(venue_id, slot)
+        else:
+            with self._warm_start_timer.time():
+                fresh = self._warm_start(venue_id, slot)
         with self._mutex:
             engine = self._engines.get(venue_id)
             if engine is None:
@@ -392,6 +458,7 @@ class VenueRouter:
         """
         if slot is not None and self.oplog and slot.role != "primary":
             return False
+        start = perf_counter()
         state = (self._log_state(venue_id, slot)
                  if slot is not None and self._logged(slot, engine) else None)
         with state.lock if state is not None else _NO_LOCK:
@@ -408,6 +475,8 @@ class VenueRouter:
             if state is not None:
                 state.log.compact(saved_version)
         self._saved_updates[venue_id] = updates
+        if self._write_back_timer is not None:
+            self._write_back_timer.observe(perf_counter() - start)
         return True
 
     # ------------------------------------------------------------------
@@ -424,7 +493,10 @@ class VenueRouter:
             state = self._logs.get(venue_id)
             if state is None:
                 path = oplog_path(self.catalog.path_for(slot.space, slot.kind))
-                state = _VenueLog(OpLog(path, sync=self.oplog_sync))
+                observe = (self._oplog_timer.observe
+                           if self._oplog_timer is not None else None)
+                state = _VenueLog(OpLog(path, sync=self.oplog_sync,
+                                        observe=observe))
                 self._logs[venue_id] = state
             return state
 
@@ -480,6 +552,16 @@ class VenueRouter:
         for the duration — it cannot be evicted mid-request, so updates
         are never silently dropped by a concurrent eviction.
 
+        Observability: when the calling thread carries an
+        :class:`~repro.obs.tracing.Observation` (installed by the shard
+        worker for traced requests), the router records a
+        ``router.<kind>`` span, an ``engine.<kind>`` span around the
+        engine call, and — if the observation asks for stats — collects
+        the query's :class:`~repro.core.results.QueryStats` into it.
+        With a ``slow_query_threshold`` configured, requests at or
+        above it emit one structured slow-query record. Without either,
+        dispatch is exactly the uninstrumented fast path.
+
         Raises:
             ServingError: unknown venue id or unknown request kind.
 
@@ -487,6 +569,58 @@ class VenueRouter:
         :class:`~repro.serving.frontend.ServingFrontend` workers call
         concurrently.
         """
+        obs = current_observation()
+        slowlog = self.slowlog
+        if obs is None and slowlog is None and self._injected_latency is None:
+            return self._execute(request)
+        trace = obs.trace if obs is not None else None
+        stats = None
+        if obs is not None and obs.want_stats and request.kind in QUERY_KINDS:
+            stats = QueryStats()
+            obs.stats = stats
+        delay = self._take_injected_latency()
+        start = perf_counter()
+        with trace.span(f"router.{request.kind}") if trace is not None else _NO_LOCK:
+            if delay > 0.0:
+                time.sleep(delay)
+            result = self._execute(request, stats, trace)
+        seconds = perf_counter() - start
+        if slowlog is not None and seconds >= slowlog.threshold:
+            if self._slow_counter is not None:
+                self._slow_counter.inc()
+            slowlog.record(
+                venue=request.venue,
+                kind=request.kind,
+                seconds=seconds,
+                trace=trace.to_doc() if trace is not None else None,
+                stats=stats_to_doc(stats),
+            )
+        return result
+
+    def inject_latency(self, seconds: float, count: int = 1) -> int:
+        """Arm ``count`` artificially slow requests: each of the next
+        ``count`` :meth:`execute` calls sleeps ``seconds`` inside its
+        timed region (so traces, histograms and the slow-query log all
+        see it). The fault-injection hook behind the protocol's
+        ``inject_latency`` control kind; re-arming replaces any
+        previous injection. Returns ``count``."""
+        with self._mutex:
+            self._injected_latency = [float(seconds), int(count)]
+        return int(count)
+
+    def _take_injected_latency(self) -> float:
+        if self._injected_latency is None:
+            return 0.0
+        with self._mutex:
+            armed = self._injected_latency
+            if armed is None:
+                return 0.0
+            armed[1] -= 1
+            if armed[1] <= 0:
+                self._injected_latency = None
+            return armed[0]
+
+    def _execute(self, request: ServingRequest, stats=None, trace=None):
         engine, pinned = self._acquire(request.venue, pin=True)
         try:
             with self._mutex:
@@ -508,19 +642,23 @@ class VenueRouter:
                     if request.kind == "update":
                         return self._logged_update(request, slot, engine)
             kind = request.kind
-            if kind == "distance":
-                return engine.distance(request.source, request.target)
-            if kind == "path":
-                return engine.path(request.source, request.target)
-            if kind == "knn":
-                return engine.knn(request.source, request.k)
-            if kind == "range":
-                return engine.range_query(request.source, request.radius)
-            if kind == "update":
-                return engine.update(request.op)
-            raise ServingError(
-                f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}"
-            )
+            with trace.span(f"engine.{kind}") if trace is not None else _NO_LOCK:
+                if kind == "distance":
+                    return engine.distance(request.source, request.target,
+                                           stats=stats)
+                if kind == "path":
+                    return engine.path(request.source, request.target,
+                                       stats=stats)
+                if kind == "knn":
+                    return engine.knn(request.source, request.k, stats=stats)
+                if kind == "range":
+                    return engine.range_query(request.source, request.radius,
+                                              stats=stats)
+                if kind == "update":
+                    return engine.update(request.op)
+                raise ServingError(
+                    f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}"
+                )
         finally:
             if pinned:
                 self._release(request.venue)
@@ -578,6 +716,7 @@ class VenueRouter:
         the router mutex — other venues' dispatch stalls for the
         duration of each dirty engine's save.
         """
+        start = perf_counter()
         with self._mutex:
             items = list(self._engines.items())
             written = 0
@@ -585,6 +724,8 @@ class VenueRouter:
                 if self._write_back(venue_id, engine, self._venues.get(venue_id)):
                     written += 1
                     self._write_backs += 1
+        if self._flush_timer is not None:
+            self._flush_timer.observe(perf_counter() - start)
         return written
 
     # ------------------------------------------------------------------

@@ -52,10 +52,14 @@ import socket
 import threading
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import asdict
+from contextlib import nullcontext
+from dataclasses import dataclass
+from pathlib import Path
+from time import perf_counter
 
 from ..exceptions import ProtocolError, ServingError
 from ..model.io_json import objects_from_dict, space_from_dict
+from ..obs import MetricsRegistry, Observation, StatsDoc, Trace, observing
 from ..storage.catalog import SnapshotCatalog
 from .protocol import (
     CONTROL_KINDS,
@@ -71,8 +75,9 @@ from .protocol import (
     request_to_doc,
     result_to_doc,
     send_doc,
+    stats_to_doc,
 )
-from .router import VenueRouter
+from .router import RouterStats, VenueRouter
 
 #: default background flush interval for shard workers (seconds)
 DEFAULT_FLUSH_INTERVAL = 30.0
@@ -80,6 +85,37 @@ DEFAULT_FLUSH_INTERVAL = 30.0
 DEFAULT_MAX_INFLIGHT = 128
 #: how long the parent waits for a spawned shard to connect (seconds)
 _CONNECT_TIMEOUT = 60.0
+
+#: reusable no-op context for untraced requests (stateless, reentrant)
+_NO_SPAN = nullcontext()
+
+
+@dataclass(slots=True)
+class FlusherStats(StatsDoc):
+    """Point-in-time counters of a shard's background flusher."""
+
+    interval: float = 0.0
+    cycles: int = 0
+    written: int = 0
+    errors: int = 0
+
+
+@dataclass(slots=True)
+class ShardStats(StatsDoc):
+    """The typed schema behind a shard's ``stats`` control reply.
+
+    ``log_positions`` maps venue id to the object-set version this
+    shard has applied — replica lag is visible by diffing these across
+    a venue's shards. ``flusher`` is ``None`` when the periodic flusher
+    is disabled.
+    """
+
+    shard: int
+    pid: int
+    requests: int
+    router: RouterStats
+    log_positions: dict
+    flusher: FlusherStats | None
 
 
 class ShardWorker:
@@ -103,6 +139,18 @@ class ShardWorker:
             update, replicas tail, warm starts replay the tail. The
             cluster turns this on for replication and zero-ack-loss
             recovery.
+        slow_query_threshold: seconds; requests slower than this are
+            recorded in the shard's structured slow-query log (a JSONL
+            file under ``<catalog_root>/obs/``). ``None`` disables the
+            slow log.
+
+    Every worker owns a :class:`~repro.obs.MetricsRegistry`: the
+    router/engine stack below records into it, the serve loop times
+    each request into ``shard_request_seconds``, and the ``metrics``
+    control kind ships a snapshot to the parent — which is how
+    :meth:`ClusterFrontend.metrics
+    <repro.serving.cluster.ClusterFrontend.metrics>` merges the whole
+    cluster's series.
 
     Single-threaded by design: one shard process serves one request at
     a time, and CPU parallelism comes from running many shard
@@ -120,10 +168,22 @@ class ShardWorker:
         flush_interval: float = DEFAULT_FLUSH_INTERVAL,
         mmap: bool = True,
         oplog: bool = False,
+        slow_query_threshold: float | None = None,
     ) -> None:
         self.shard_id = int(shard_id)
+        self.registry = MetricsRegistry()
+        slowlog_path = (
+            Path(catalog_root) / "obs" / f"slowlog-shard{self.shard_id}.jsonl"
+            if slow_query_threshold is not None else None
+        )
         self.router = VenueRouter(SnapshotCatalog(catalog_root), capacity=capacity,
-                                  kind=kind, mmap=mmap, oplog=oplog)
+                                  kind=kind, mmap=mmap, oplog=oplog,
+                                  registry=self.registry,
+                                  slow_query_threshold=slow_query_threshold,
+                                  slowlog_path=slowlog_path)
+        #: per-kind ``shard_request_seconds`` timers (single-threaded
+        #: worker — a plain dict is enough)
+        self._request_timers: dict = {}
         self.requests = 0
         #: armed ``crash_after_n_ops`` countdown (``None`` = disarmed):
         #: how many more updates to serve before dying on the next one
@@ -167,22 +227,27 @@ class ShardWorker:
                     "venues": len(self.router.venue_ids())}
         if kind == "stats":
             flusher = self._flusher
-            return {
-                "shard": self.shard_id,
-                "pid": os.getpid(),
-                "requests": self.requests,
-                "router": asdict(self.router.stats()),
-                # per-venue object-set versions: the log positions this
-                # shard has applied (replica lag is visible by diffing
-                # these across the venue's shards)
-                "log_positions": self.router.log_positions(),
-                "flusher": None if flusher is None else {
-                    "interval": flusher.interval,
-                    "cycles": flusher.cycles,
-                    "written": flusher.written,
-                    "errors": flusher.errors,
-                },
-            }
+            return ShardStats(
+                shard=self.shard_id,
+                pid=os.getpid(),
+                requests=self.requests,
+                router=self.router.stats(),
+                log_positions=self.router.log_positions(),
+                flusher=None if flusher is None else FlusherStats(
+                    interval=flusher.interval,
+                    cycles=flusher.cycles,
+                    written=flusher.written,
+                    errors=flusher.errors,
+                ),
+            ).to_doc()
+        if kind == "metrics":
+            return self.registry.snapshot()
+        if kind == "inject_latency":
+            payload = request.payload or {}
+            return self.router.inject_latency(
+                float(payload.get("seconds", 0.0)),
+                count=int(payload.get("count", 1)),
+            )
         if kind == "flush":
             return self.router.flush()
         if kind == "shutdown":
@@ -229,11 +294,37 @@ class ShardWorker:
                         # lost ack would show up as divergence.
                         os._exit(2)
                     self.crash_after -= 1
+                timer = self._request_timers.get(request.kind)
+                if timer is None:
+                    timer = self.registry.histogram(
+                        "shard_request_seconds", kind=request.kind)
+                    self._request_timers[request.kind] = timer
+                obs = (
+                    Observation(Trace(request.trace) if request.trace else None,
+                                want_stats=request.include_stats)
+                    if request.trace or request.include_stats else None
+                )
+                start = perf_counter()
                 try:
-                    value = self.handle(request)
-                    reply = Response(request_id, result_to_doc(value))
+                    if obs is None:
+                        value = self.handle(request)
+                    else:
+                        span = (obs.trace.span(f"shard.{request.kind}")
+                                if obs.trace is not None else _NO_SPAN)
+                        with observing(obs), span:
+                            value = self.handle(request)
+                    reply = Response(
+                        request_id,
+                        result_to_doc(value),
+                        stats=stats_to_doc(obs.stats) if obs is not None else None,
+                        trace=(obs.trace.to_doc()
+                               if obs is not None and obs.trace is not None
+                               else None),
+                    )
                 except Exception as exc:  # noqa: BLE001 - travels as a reply
                     reply = error_reply(request_id, exc)
+                finally:
+                    timer.observe(perf_counter() - start)
                 send_doc(sock, reply_to_doc(reply))
                 if request.kind == "shutdown":
                     break
@@ -257,7 +348,8 @@ def _no_delay(sock: socket.socket) -> None:
 
 def _shard_entry(port: int, catalog_root: str, shard_id: int, kind: str,
                  capacity: int, flush_interval: float, mmap: bool = True,
-                 oplog: bool = False) -> None:
+                 oplog: bool = False,
+                 slow_query_threshold: float | None = None) -> None:
     """Child-process entry point: connect back to the parent and serve."""
     sock = socket.create_connection(("127.0.0.1", port), timeout=_CONNECT_TIMEOUT)
     sock.settimeout(None)  # the timeout is for the connect, not the serve
@@ -266,6 +358,7 @@ def _shard_entry(port: int, catalog_root: str, shard_id: int, kind: str,
         worker = ShardWorker(
             catalog_root, shard_id=shard_id, kind=kind, capacity=capacity,
             flush_interval=flush_interval, mmap=mmap, oplog=oplog,
+            slow_query_threshold=slow_query_threshold,
         )
         worker.serve(sock)
     finally:
@@ -304,6 +397,7 @@ class ShardProcess:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         mmap: bool = True,
         oplog: bool = False,
+        slow_query_threshold: float | None = None,
         mp_context=None,
     ) -> None:
         if max_inflight < 1:
@@ -315,6 +409,10 @@ class ShardProcess:
         self.flush_interval = float(flush_interval)
         self.mmap = bool(mmap)
         self.oplog = bool(oplog)
+        self.slow_query_threshold = (
+            float(slow_query_threshold)
+            if slow_query_threshold is not None else None
+        )
         self.max_inflight = int(max_inflight)
         self._mp_context = mp_context
         self.process = None
@@ -322,7 +420,8 @@ class ShardProcess:
         self._reader: threading.Thread | None = None
         self._send_lock = threading.Lock()
         self._state = threading.Lock()
-        self._pending: dict[int, Future] = {}
+        #: request id -> (future, wants the raw Response envelope)
+        self._pending: dict[int, tuple[Future, bool]] = {}
         self._next_id = 0
         self._sem = threading.Semaphore(self.max_inflight)
         self._alive = False
@@ -347,7 +446,7 @@ class ShardProcess:
                 target=_shard_entry,
                 args=(port, self.catalog_root, self.shard_id, self.kind,
                       self.capacity, self.flush_interval, self.mmap,
-                      self.oplog),
+                      self.oplog, self.slow_query_threshold),
                 name=f"repro-shard-{self.shard_id}",
                 daemon=True,
             )
@@ -406,12 +505,19 @@ class ShardProcess:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
-    def submit(self, request: Request, *, timeout: float | None = None) -> Future:
+    def submit(self, request: Request, *, timeout: float | None = None,
+               raw_reply: bool = False) -> Future:
         """Send one request; returns the future its reply will resolve.
 
         Blocks while the in-flight window is full (backpressure); with
         a ``timeout``, raises :class:`ServingError` instead of blocking
         past it. Raises immediately if the shard is dead.
+
+        With ``raw_reply=True`` the future resolves to the
+        :class:`~repro.serving.protocol.Response` envelope itself
+        (result document plus the optional ``stats``/``trace`` riders)
+        instead of the decoded result value — how the TCP front door
+        forwards trace spans and per-query stats without re-encoding.
         """
         if not self.alive:
             raise ServingError(
@@ -427,7 +533,7 @@ class ShardProcess:
         with self._state:
             request_id = self._next_id
             self._next_id += 1
-            self._pending[request_id] = future
+            self._pending[request_id] = (future, bool(raw_reply))
         try:
             # Encode before touching the wire: an unencodable request
             # (oversized venue doc, non-JSON payload) fails only its
@@ -461,15 +567,21 @@ class ShardProcess:
                 error: BaseException | None = None) -> bool:
         """Resolve one pending future and release its window slot."""
         with self._state:
-            future = self._pending.pop(request_id, None)
-        if future is None:
+            entry = self._pending.pop(request_id, None)
+        if entry is None:
             return False
+        future = entry[0]
         if error is not None:
             future.set_exception(error)
         else:
             future.set_result(value)
         self._sem.release()
         return True
+
+    def _wants_raw(self, request_id: int) -> bool:
+        with self._state:
+            entry = self._pending.get(request_id)
+        return entry is not None and entry[1]
 
     def _mark_dead(self, reason: str) -> None:
         with self._state:
@@ -510,7 +622,9 @@ class ShardProcess:
                     break
                 if isinstance(reply, Response):
                     try:
-                        self._settle(reply.request_id, value=reply.value())
+                        value = (reply if self._wants_raw(reply.request_id)
+                                 else reply.value())
+                        self._settle(reply.request_id, value=value)
                     except Exception as exc:  # noqa: BLE001 - corrupt result
                         # e.g. ProtocolError, or ValueError from packed
                         # numerics — fail this request, keep reading

@@ -49,6 +49,7 @@ import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 
 from ..exceptions import SnapshotError
 from ..model.io_json import canonical_dumps, op_from_dict, op_to_dict
@@ -141,6 +142,10 @@ class OpLog:
             ``False`` trades that for speed (the OS still sees every
             record immediately, so replicas on the same host keep
             tailing correctly).
+        observe: optional callable receiving the wall-clock seconds of
+            each append's write+flush+fsync — how the serving layer
+            feeds its ``oplog_append_seconds`` latency histogram
+            without this module depending on the metrics registry.
 
     Thread safety: one instance may be shared by the threads of one
     process (append/compact/read serialize on an internal lock). The
@@ -148,9 +153,11 @@ class OpLog:
     cluster routes every update of a venue to its one primary.
     """
 
-    def __init__(self, path: str | Path, *, sync: bool = True) -> None:
+    def __init__(self, path: str | Path, *, sync: bool = True,
+                 observe=None) -> None:
         self.path = Path(path)
         self.sync = bool(sync)
+        self._observe = observe
         self._mutex = threading.Lock()
         self._fh = None
         #: object-set version of the last record this writer appended
@@ -208,10 +215,13 @@ class OpLog:
                     f"{self._last_version} — operations must be logged in "
                     "order by exactly one writer"
                 )
+            start = perf_counter() if self._observe is not None else 0.0
             fh.write(_encode_record(version, op))
             fh.flush()
             if self.sync:
                 os.fsync(fh.fileno())
+            if self._observe is not None:
+                self._observe(perf_counter() - start)
             self._last_version = int(version)
 
     def compact(self, keep_after_version: int) -> int:

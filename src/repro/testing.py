@@ -182,6 +182,20 @@ class ClusterFaultHarness:
             shard, "crash_after_n_ops", payload={"updates": int(updates)}
         ).result(timeout=30.0)
 
+    def slow_requests(self, shard: int, seconds: float, count: int = 1) -> int:
+        """Arm ``shard``'s router to sleep ``seconds`` inside its next
+        ``count`` timed requests — an artificial slow query, injected
+        inside the layer the slow-query log measures, so tests can
+        deterministically trip a latency threshold. Returns ``count``
+        as acknowledged by the worker."""
+        from .serving.protocol import Request
+
+        return self.cluster._shard(shard).call(
+            Request(venue="", kind="inject_latency",
+                    payload={"seconds": float(seconds), "count": int(count)}),
+            timeout=30.0,
+        )
+
     # -- recovery-safe submission --------------------------------------
     def apply_update(self, venue_id: str, op, *, attempts: int = 8):
         """Submit one update, retrying across a primary death.
