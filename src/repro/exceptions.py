@@ -45,6 +45,26 @@ class ServingError(ReproError):
     """
 
 
+class OverloadedError(ServingError):
+    """The serving layer shed this request to protect everyone else.
+
+    Raised by per-venue admission control
+    (:mod:`repro.serving.admission`): the venue exhausted its
+    token-bucket rate allowance or its queue-depth bound. The request
+    was **not** executed — retrying after :attr:`retry_after` seconds
+    (when known) is safe and expected. Crosses the wire as a typed
+    error response carrying the hint, so remote clients can back off
+    exactly as in-process callers do.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        #: seconds until the venue's token bucket next admits a request
+        #: (``None`` when the rejection was queue-depth shedding — retry
+        #: once in-flight requests drain, which has no fixed horizon)
+        self.retry_after = retry_after
+
+
 class ProtocolError(ServingError):
     """A serving-protocol frame or document is malformed.
 

@@ -27,8 +27,17 @@ usable alone:
   fingerprints across N shard processes: true multi-core scaling for
   the CPU-bound query math, crash restart from catalog snapshots (the
   flush interval bounds the durability window), backpressure, graceful
-  drain. ``python -m repro.serving`` serves a catalog this way over
-  TCP.
+  drain, and optional per-venue **admission control**
+  (:class:`AdmissionController`: token-bucket rate limiting +
+  queue-depth shedding; shed requests raise a typed
+  :class:`~repro.exceptions.OverloadedError` with a retry-after hint).
+* **Front door** (:class:`AsyncFrontDoor`) — one asyncio event loop
+  multiplexing every TCP client over the framed protocol: single
+  frames exactly as before, plus multi-request **batch frames**
+  (:class:`~repro.serving.protocol.BatchRequest`) answered in order
+  with per-element error isolation. :class:`FrontDoorClient` is the
+  matching synchronous client. ``python -m repro.serving`` serves a
+  catalog this way over TCP.
 
 :class:`VenueRouter` — a bounded LRU pool of **thread-safe**
 :class:`~repro.engine.engine.QueryEngine` instances keyed by venue
@@ -69,12 +78,18 @@ Quickstart (sharded cluster — same requests, N processes)::
         neighbors = cluster.request(vid, "knn", source=point, k=5).result()
 """
 
+from .admission import AdmissionController, AdmissionStats, TokenBucket
+from .async_frontend import AsyncFrontDoor
+from .client import FrontDoorClient
 from .cluster import ClusterFrontend, ClusterStats
 from .frontend import FrontendStats, ServingFrontend
 from .protocol import (
     CONTROL_KINDS,
+    BatchRequest,
+    BatchResponse,
     ErrorResponse,
     FAULT_KINDS,
+    MAX_BATCH_REQUESTS,
     QUERY_KINDS,
     READ_KINDS,
     Request,
@@ -95,14 +110,21 @@ from .router import (
 from .shard import ShardProcess, ShardStats, ShardWorker
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "AsyncFrontDoor",
+    "BatchRequest",
+    "BatchResponse",
     "CONTROL_KINDS",
     "ClusterFrontend",
     "ClusterStats",
     "DEFAULT_VNODES",
     "ErrorResponse",
     "FAULT_KINDS",
+    "FrontDoorClient",
     "FrontendStats",
     "HashRing",
+    "MAX_BATCH_REQUESTS",
     "PeriodicFlusher",
     "QUERY_KINDS",
     "READ_KINDS",
@@ -116,6 +138,7 @@ __all__ = [
     "ShardProcess",
     "ShardStats",
     "ShardWorker",
+    "TokenBucket",
     "VENUE_ROLES",
     "VenueRouter",
     "concurrent_replay",

@@ -2,10 +2,13 @@
 over TCP.
 
 Spins up a :class:`~repro.serving.cluster.ClusterFrontend` (one
-process per shard, warm-started from a snapshot catalog) and a TCP
-front door speaking the length-prefixed wire protocol of
-:mod:`repro.serving.protocol`: clients send framed request documents
-and receive framed replies, matched by request id.
+process per shard, warm-started from a snapshot catalog) behind an
+:class:`~repro.serving.async_frontend.AsyncFrontDoor`: a single
+asyncio event loop multiplexing every client connection, speaking the
+length-prefixed wire protocol of :mod:`repro.serving.protocol` —
+single-request frames exactly as before, plus multi-request **batch
+frames** (one frame in, one frame of ordered replies out, errors
+isolated per element).
 
 Examples:
     # serve two venues on an ephemeral port, 4 shard processes
@@ -17,26 +20,36 @@ Examples:
     python -m repro.serving serve --catalog .snapshots --venue MC \\
         --profile tiny --shards 2 --port 0 --events 200
 
-    # 2-way replication: each venue gets a primary plus a log-tailing
-    # read replica on another shard; reads fan out across both
+    # same, but batched 32 requests per frame
     python -m repro.serving serve --catalog .snapshots --venue MC \\
-        --venue Men-2 --shards 4 --replication 2 --port 0
+        --profile tiny --shards 2 --port 0 --events 200 --batch 32
+
+    # per-venue admission control: 500 req/s token buckets (burst
+    # 1000) and at most 256 in-flight requests per venue; shed
+    # requests get a typed Overloaded reply with a retry-after hint
+    python -m repro.serving serve --catalog .snapshots --venue MC \\
+        --shards 4 --port 0 --admission-rate 500 --shed-depth 256
 
 ``--venue`` accepts a generator name (MC, MC-2, Men, Men-2, CL, CL-2)
 or a path to a venue JSON file written by ``repro.model.save_space``;
-repeat the flag to serve several venues. ``--workers`` bounds the
-number of concurrently served client connections (each connection gets
-one handler thread; request order within a connection is preserved
-end-to-end, so per-venue update/query ordering holds for any single
-client). Venue-less control requests (``ping``/``stats``/``flush``/
-``venues``/``metrics``) are answered by the front door itself;
-everything else is routed to the owning shard.
+repeat the flag to serve several venues. Connections are no longer
+capped (the event loop multiplexes them); ``--workers`` now sizes the
+front door's submission executor — the number of clients that can be
+stalled on shard backpressure before further submissions queue.
+Request order within a connection is preserved end-to-end, so
+per-venue update/query ordering holds for any single client.
+Venue-less control requests (``ping``/``stats``/``flush``/``venues``/
+``metrics``) are answered by the front door itself; everything else is
+routed to the owning shard.
 
 Observability: ``--metrics-port`` starts an HTTP sidecar serving the
 merged cluster metrics (``/metrics`` in Prometheus text format,
 ``/metrics.json`` as a summarized JSON snapshot — also reachable over
 the wire protocol as the ``metrics`` request kind, which is what
-``python -m repro.obs dump`` speaks). ``--slow-query-ms`` turns on
+``python -m repro.obs dump`` speaks). Admission rejections surface
+there as ``admission_rejected_total{venue=...,reason=...}`` next to
+the front door's per-venue latency histograms
+(``frontdoor_request_seconds``). ``--slow-query-ms`` turns on
 per-shard structured slow-query logs under ``<catalog>/obs/``.
 Requests carrying a ``trace`` id get their span timings (including the
 front door's ``frontend.total``) echoed on the reply.
@@ -46,36 +59,21 @@ from __future__ import annotations
 
 import argparse
 import json
-import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from time import perf_counter
 
 from ..datasets.multi_venue import multi_venue_streams
 from ..datasets.venues import VENUE_NAMES, load_venue
 from ..datasets.workloads import random_objects
-from ..exceptions import ProtocolError, ServingError
 from ..model.io_json import load_space
 from ..obs import render_prometheus
+from .admission import AdmissionController
+from .async_frontend import AsyncFrontDoor
+from .client import FrontDoorClient
 from .cluster import ClusterFrontend
-from .shard import _no_delay
-from .protocol import (
-    Request,
-    Response,
-    error_reply,
-    recv_doc,
-    reply_from_doc,
-    reply_to_doc,
-    request_from_doc,
-    request_to_doc,
-    result_to_doc,
-    send_doc,
-)
-
-#: front-door request kinds answered without touching a shard
-_LOCAL_KINDS = ("venues", "ping", "stats", "flush", "metrics")
+from .protocol import Request, Response
 
 
 def _resolve_venue(name: str, profile: str, seed: int | None):
@@ -85,112 +83,21 @@ def _resolve_venue(name: str, profile: str, seed: int | None):
 
 
 # ----------------------------------------------------------------------
-# Front door: one handler thread per client connection
-# ----------------------------------------------------------------------
-def _handle_local(cluster: ClusterFrontend, names: dict[str, str],
-                  request: Request):
-    if request.kind == "venues":
-        return {"venues": [
-            {"id": vid, "name": names.get(vid, "")}
-            for vid in cluster.venue_ids()
-        ]}
-    if request.kind == "ping":
-        cluster.drain()  # a front-door ping is a cluster-wide barrier
-        return {"ok": True}
-    if request.kind == "stats":
-        # StatsDoc.to_doc stringifies the by_shard keys for the wire
-        return cluster.stats().to_doc()
-    if request.kind == "metrics":
-        return cluster.metrics()
-    if request.kind == "flush":
-        return cluster.flush()
-    raise ServingError(f"unhandled local kind {request.kind!r}")
-
-
-def _serve_connection(cluster: ClusterFrontend, names: dict[str, str],
-                      conn: socket.socket) -> None:
-    send_lock = threading.Lock()
-
-    def reply(request_id: int, doc: dict) -> None:
-        try:
-            with send_lock:
-                send_doc(conn, doc)
-        except OSError:
-            pass  # client went away; its shard work still completes
-
-    def on_done(request_id: int, future, start: float) -> None:
-        try:
-            got = future.result()
-        except Exception as exc:  # noqa: BLE001 - travels as a reply
-            reply(request_id, reply_to_doc(error_reply(request_id, exc)))
-        else:
-            # ``got`` is the shard's Response envelope (raw_reply):
-            # re-emit its result under the client's request id, with
-            # the front door's own span appended to any trace.
-            trace_doc = got.trace
-            if trace_doc is not None:
-                trace_doc = {
-                    **trace_doc,
-                    "spans": list(trace_doc.get("spans", ())) + [
-                        {"name": "frontend.total",
-                         "seconds": perf_counter() - start}
-                    ],
-                }
-            reply(request_id, reply_to_doc(
-                Response(request_id, got.result, stats=got.stats,
-                         trace=trace_doc)))
-
-    try:
-        while True:
-            doc = recv_doc(conn)
-            if doc is None:
-                break
-            request, request_id = request_from_doc(doc)
-            start = perf_counter()
-            try:
-                if request.venue == "" and request.kind in _LOCAL_KINDS:
-                    value = _handle_local(cluster, names, request)
-                    reply(request_id, reply_to_doc(
-                        Response(request_id, result_to_doc(value))))
-                    continue
-                future = cluster.submit(request, raw_reply=True)
-            except Exception as exc:  # noqa: BLE001 - travels as a reply
-                reply(request_id, reply_to_doc(error_reply(request_id, exc)))
-                continue
-            future.add_done_callback(
-                lambda f, rid=request_id, t0=start: on_done(rid, f, t0))
-    except (ProtocolError, OSError):
-        pass  # malformed client / reset: drop the connection
-    finally:
-        try:
-            conn.close()
-        except OSError:
-            pass
-
-
-# ----------------------------------------------------------------------
 # Self-test client (also the example/CI driver for the CLI)
 # ----------------------------------------------------------------------
-def _self_test(address, venues, events: int, seed: int, window: int = 64) -> int:
+def _self_test(address, venues, events: int, seed: int, *,
+               window: int = 64, batch: int = 0) -> int:
     """Replay ``events`` query events per venue through a real TCP
-    client, pipelining up to ``window`` requests, and print throughput.
+    client and print throughput: pipelined single frames (up to
+    ``window`` in flight) by default, or ``batch``-sized batch frames
+    when ``batch > 1``.
 
     Queries only (``update_ratio=0``): the self test must be safe to
     run against a pre-existing catalog whose object state has drifted
     from this process's freshly generated sets.
     """
-    sock = socket.create_connection(address, timeout=60.0)
-    _no_delay(sock)
-    try:
-        next_id = 0
-
-        def call(request: Request):
-            nonlocal next_id
-            send_doc(sock, request_to_doc(request, next_id))
-            next_id += 1
-            return reply_from_doc(recv_doc(sock))
-
-        listing = call(Request(venue="", kind="venues")).value()
+    with FrontDoorClient(address, timeout=60.0) as client:
+        listing = client.call(Request(venue="", kind="venues"))
         print(f"self-test: server lists {len(listing['venues'])} venue(s)")
 
         streams = multi_venue_streams(
@@ -201,39 +108,45 @@ def _self_test(address, venues, events: int, seed: int, window: int = 64) -> int
         for (_, _, vid), stream in zip(venues, streams):
             flat.extend(Request.from_event(vid, e) for e in stream)
 
-        pending: set[int] = set()
         errors: dict[str, int] = {}
 
         def account(got) -> None:
-            pending.discard(got.request_id)
             if not isinstance(got, Response):
                 key = f"{got.error}: {got.message}"
                 errors[key] = errors.get(key, 0) + 1
 
         start = time.perf_counter()
-        for request in flat:
-            while len(pending) >= window:
-                account(reply_from_doc(recv_doc(sock)))
-            send_doc(sock, request_to_doc(request, next_id))
-            pending.add(next_id)
-            next_id += 1
-        while pending:
-            account(reply_from_doc(recv_doc(sock)))
+        if batch > 1:
+            for at in range(0, len(flat), batch):
+                client.send_batch(flat[at:at + batch])
+                for reply in client.recv_batch().replies:
+                    account(reply)
+            mode = f"batch={batch}"
+        else:
+            pending = 0
+            for request in flat:
+                while pending >= window:
+                    account(client.recv())
+                    pending -= 1
+                client.send(request)
+                pending += 1
+            while pending:
+                account(client.recv())
+                pending -= 1
+            mode = f"window={window}"
         seconds = time.perf_counter() - start
         failed = sum(errors.values())
 
-        stats = call(Request(venue="", kind="stats")).value()
+        stats = client.call(Request(venue="", kind="stats"))
         print(
             f"self-test: {len(flat)} events over TCP in {seconds:.3f}s "
-            f"({len(flat) / seconds:,.0f} events/s, window={window}, "
+            f"({len(flat) / seconds:,.0f} events/s, {mode}, "
             f"{failed} failed)"
         )
         for key, n in sorted(errors.items(), key=lambda kv: -kv[1]):
             print(f"self-test: {n}x {key}")
         print(f"self-test: cluster stats {stats}")
         return 1 if failed else 0
-    finally:
-        sock.close()
 
 
 # ----------------------------------------------------------------------
@@ -276,6 +189,16 @@ def _start_metrics_server(cluster: ClusterFrontend, port: int):
 
 
 # ----------------------------------------------------------------------
+def _admission_from_args(args) -> AdmissionController | None:
+    if args.admission_rate <= 0.0 and args.shed_depth <= 0:
+        return None
+    return AdmissionController(
+        rate=args.admission_rate if args.admission_rate > 0.0 else None,
+        burst=args.admission_burst if args.admission_burst > 0.0 else None,
+        max_queue_depth=args.shed_depth if args.shed_depth > 0 else None,
+    )
+
+
 def _cmd_serve(args) -> int:
     catalog = Path(args.catalog)
     catalog.mkdir(parents=True, exist_ok=True)
@@ -287,6 +210,7 @@ def _cmd_serve(args) -> int:
         catalog, shards=args.shards, replication=args.replication,
         flush_interval=args.flush_interval, oplog=not args.no_oplog,
         slow_query_threshold=slow_threshold,
+        admission=_admission_from_args(args),
     ) as cluster:
         for i, name in enumerate(args.venue):
             space = _resolve_venue(name, args.profile, args.seed)
@@ -300,56 +224,44 @@ def _cmd_serve(args) -> int:
                   f"{placement[0]}, replicas {placement[1:] or '[]'} "
                   f"({vid[:12]})")
 
-        server = socket.create_server(("127.0.0.1", args.port))
-        host, port = server.getsockname()
-        print(f"serving {len(venues)} venue(s) on {host}:{port} "
-              f"({args.shards} shard(s), replication={args.replication}, "
-              f"{args.workers} connection worker(s))")
+        with AsyncFrontDoor(
+            cluster, port=args.port, names=names,
+            submit_workers=args.workers,
+        ) as door:
+            host, port = door.address
+            admission = cluster.admission
+            policy = (
+                "admission off" if admission is None else
+                f"admission rate={admission.rate or '-'}/s "
+                f"burst={admission.burst or '-'} "
+                f"depth={admission.max_queue_depth or '-'}"
+            )
+            print(f"serving {len(venues)} venue(s) on {host}:{port} "
+                  f"({args.shards} shard(s), replication={args.replication}, "
+                  f"async front door, {args.workers} submit worker(s), "
+                  f"{policy})")
 
-        metrics_server = None
-        if args.metrics_port is not None:
-            metrics_server = _start_metrics_server(cluster, args.metrics_port)
-            mhost, mport = metrics_server.server_address[:2]
-            print(f"metrics on http://{mhost}:{mport}/metrics "
-                  "(and /metrics.json)")
+            metrics_server = None
+            if args.metrics_port is not None:
+                metrics_server = _start_metrics_server(
+                    cluster, args.metrics_port)
+                mhost, mport = metrics_server.server_address[:2]
+                print(f"metrics on http://{mhost}:{mport}/metrics "
+                      "(and /metrics.json)")
 
-        stopping = threading.Event()
-        connection_slots = threading.Semaphore(args.workers)
-
-        def handle(conn: socket.socket) -> None:
             try:
-                _serve_connection(cluster, names, conn)
+                if args.events > 0:
+                    return _self_test((host, port), venues, args.events,
+                                      args.seed, batch=args.batch)
+                threading.Event().wait()  # serve until interrupted
+                return 0  # pragma: no cover - unreachable
+            except KeyboardInterrupt:  # pragma: no cover - interactive
+                print("shutting down")
+                return 0
             finally:
-                connection_slots.release()
-
-        def accept_loop() -> None:
-            while not stopping.is_set():
-                try:
-                    conn, _ = server.accept()
-                except OSError:
-                    break  # listener closed: shutting down
-                _no_delay(conn)
-                connection_slots.acquire()
-                threading.Thread(target=handle, args=(conn,),
-                                 daemon=True).start()
-
-        acceptor = threading.Thread(target=accept_loop, daemon=True)
-        acceptor.start()
-        try:
-            if args.events > 0:
-                return _self_test((host, port), venues, args.events, args.seed)
-            while acceptor.is_alive():
-                acceptor.join(timeout=1.0)
-            return 0
-        except KeyboardInterrupt:  # pragma: no cover - interactive exit
-            print("shutting down")
-            return 0
-        finally:
-            stopping.set()
-            server.close()
-            if metrics_server is not None:
-                metrics_server.shutdown()
-                metrics_server.server_close()
+                if metrics_server is not None:
+                    metrics_server.shutdown()
+                    metrics_server.server_close()
 
 
 def main(argv=None) -> int:
@@ -382,9 +294,25 @@ def main(argv=None) -> int:
                             "(restores the snapshot-only durability "
                             "window; incompatible with --replication > 1)")
     serve.add_argument("--workers", type=int, default=8,
-                       help="max concurrently served client connections")
+                       help="submission executor threads in the async front "
+                            "door (clients that can be stalled on shard "
+                            "backpressure before submissions queue)")
     serve.add_argument("--port", type=int, default=0,
                        help="TCP port (0: ephemeral, printed on startup)")
+    serve.add_argument("--admission-rate", type=float, default=0.0,
+                       metavar="N",
+                       help="per-venue token-bucket rate limit in "
+                            "requests/second; venues over their allowance "
+                            "get typed Overloaded replies with a "
+                            "retry-after hint (0: disabled)")
+    serve.add_argument("--admission-burst", type=float, default=0.0,
+                       metavar="N",
+                       help="per-venue token-bucket capacity "
+                            "(0: defaults to 2x --admission-rate)")
+    serve.add_argument("--shed-depth", type=int, default=0, metavar="N",
+                       help="per-venue bound on concurrently in-flight "
+                            "requests; venues piling up beyond it are shed "
+                            "(0: disabled)")
     serve.add_argument("--flush-interval", type=float, default=30.0,
                        help="per-shard background flush period in seconds "
                             "(with the oplog: bounds log length; without: "
@@ -402,6 +330,9 @@ def main(argv=None) -> int:
     serve.add_argument("--events", type=int, default=0,
                        help="self-test mode: replay N query events per venue "
                             "through a TCP client, print throughput, exit")
+    serve.add_argument("--batch", type=int, default=0, metavar="N",
+                       help="self-test mode: send N requests per batch frame "
+                            "instead of pipelined single frames")
     serve.add_argument("--seed", type=int, default=17)
     serve.set_defaults(func=_cmd_serve)
 

@@ -1,0 +1,303 @@
+"""Per-venue admission control: token buckets + queue-depth shedding.
+
+One pathological venue — a buggy client in a tight loop, a stadium
+event, a scraper — must not starve every other tenant of the cluster.
+The :class:`AdmissionController` sits in front of
+:meth:`ClusterFrontend.submit
+<repro.serving.cluster.ClusterFrontend.submit>` and applies two
+per-venue policies, keyed by venue fingerprint:
+
+* **Token-bucket rate limiting** (:class:`TokenBucket`) — each venue
+  holds up to ``burst`` tokens, refilled continuously at ``rate``
+  tokens/second; an engine-backed request costs one token. A venue
+  that outruns its refill is **shed**: the request is rejected with a
+  typed :class:`~repro.exceptions.OverloadedError` carrying the exact
+  ``retry_after`` horizon (seconds until the bucket next holds a
+  token), *before* any shard work happens.
+* **Queue-depth shedding** — each venue is bounded to
+  ``max_queue_depth`` concurrently in-flight requests. A venue whose
+  clients pile up faster than its shard answers gets shed instead of
+  filling the shard's shared in-flight window — which is the exact
+  mechanism by which one hot venue would otherwise add *its* queueing
+  delay to everyone else's p99.
+
+Rejected requests are never executed (rejected and answered are
+mutually exclusive — a hypothesis-tested invariant), and admitted
+requests must be :meth:`~AdmissionController.release`-d exactly once
+when their work settles (the cluster wires this to the request future).
+
+Observability: given a ``registry``, the controller exports
+``admission_admitted_total{venue=...}``,
+``admission_rejected_total{venue=..., reason=rate|depth}`` and an
+``admission_queue_depth{venue=...}`` gauge — venue labels are the
+fingerprint's first 12 hex chars, matching log/diagnostic shorthand
+elsewhere. They surface in ``/metrics`` through the cluster's merged
+snapshot.
+
+Time is injectable (``clock``) so property tests drive deterministic
+arrival schedules; production uses :func:`time.monotonic`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..exceptions import OverloadedError
+from ..obs import MetricsRegistry
+
+__all__ = ["AdmissionController", "AdmissionStats", "TokenBucket"]
+
+#: how venue fingerprints appear in metric labels and error messages
+_LABEL_CHARS = 12
+
+
+class TokenBucket:
+    """A continuously refilling token bucket (not thread-safe on its
+    own — the controller serializes access under its mutex).
+
+    Holds at most ``burst`` tokens; :meth:`try_acquire` takes one if
+    available, else reports how long until one accrues. Conservation:
+    over any window of ``t`` seconds, at most ``burst + rate * t``
+    acquisitions can succeed — the hypothesis-tested bound.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float, *, now: float) -> None:
+        if rate <= 0.0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = float(now)
+
+    def _refill(self, now: float) -> None:
+        # A backwards clock step (never with time.monotonic; possible
+        # with test clocks) must not mint tokens.
+        elapsed = now - self.updated
+        if elapsed > 0.0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = max(self.updated, now)
+
+    def try_acquire(self, now: float) -> float:
+        """Take one token; returns ``0.0`` on success, else the
+        seconds until the bucket next holds a full token (the
+        retry-after hint)."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionStats:
+    """Point-in-time controller counters (all monotone except
+    ``in_flight``)."""
+
+    __slots__ = ("admitted", "rejected_rate", "rejected_depth", "in_flight")
+
+    def __init__(self, admitted: int, rejected_rate: int,
+                 rejected_depth: int, in_flight: int) -> None:
+        self.admitted = admitted
+        self.rejected_rate = rejected_rate
+        self.rejected_depth = rejected_depth
+        self.in_flight = in_flight
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_rate + self.rejected_depth
+
+    def to_doc(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejected_rate": self.rejected_rate,
+            "rejected_depth": self.rejected_depth,
+            "rejected": self.rejected,
+            "in_flight": self.in_flight,
+        }
+
+
+class _VenueState:
+    __slots__ = ("bucket", "depth", "admitted", "rejected_rate",
+                 "rejected_depth")
+
+    def __init__(self, bucket: TokenBucket | None) -> None:
+        self.bucket = bucket
+        self.depth = 0
+        self.admitted = 0
+        self.rejected_rate = 0
+        self.rejected_depth = 0
+
+
+class AdmissionController:
+    """Admit or shed requests per venue; thread-safe.
+
+    Args:
+        rate: per-venue token refill in requests/second; ``None``
+            disables rate limiting (depth shedding may still apply).
+        burst: per-venue bucket capacity. Defaults to ``2 * rate``
+            (floored at 1): a venue may briefly double its sustained
+            rate, which absorbs ordinary batch arrivals without
+            admitting a flood.
+        max_queue_depth: per-venue bound on concurrently in-flight
+            admitted requests; ``None`` disables depth shedding.
+        registry: optional :class:`~repro.obs.MetricsRegistry` the
+            admission counters and depth gauges are exported through.
+        clock: monotonic time source (injectable for tests).
+
+    At least one of ``rate``/``max_queue_depth`` must be set — a
+    controller that can never shed is a configuration error, not a
+    policy.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float | None = None,
+        burst: float | None = None,
+        max_queue_depth: int | None = None,
+        registry: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        if rate is None and max_queue_depth is None:
+            raise ValueError(
+                "admission control needs a policy: set rate (token bucket) "
+                "and/or max_queue_depth (queue-depth shedding)"
+            )
+        if rate is not None and rate <= 0.0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst is not None and rate is None:
+            raise ValueError("burst without rate has no meaning")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.rate = None if rate is None else float(rate)
+        self.burst = (
+            None if rate is None
+            else max(1.0, float(burst) if burst is not None else 2.0 * rate)
+        )
+        self.max_queue_depth = (
+            None if max_queue_depth is None else int(max_queue_depth)
+        )
+        self.registry = registry
+        self._clock = clock
+        self._mutex = threading.Lock()
+        self._venues: dict[str, _VenueState] = {}
+
+    # ------------------------------------------------------------------
+    def _state(self, venue: str) -> _VenueState:
+        state = self._venues.get(venue)
+        if state is None:
+            bucket = (
+                TokenBucket(self.rate, self.burst, now=self._clock())
+                if self.rate is not None else None
+            )
+            state = self._venues[venue] = _VenueState(bucket)
+        return state
+
+    def _label(self, venue: str) -> str:
+        return venue[:_LABEL_CHARS]
+
+    def _observe_depth(self, venue: str, depth: int) -> None:
+        if self.registry is not None:
+            self.registry.gauge(
+                "admission_queue_depth", agg="sum", venue=self._label(venue)
+            ).set(float(depth))
+
+    def _count_rejection(self, venue: str, reason: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                "admission_rejected_total",
+                venue=self._label(venue), reason=reason,
+            ).inc()
+
+    # ------------------------------------------------------------------
+    def admit(self, venue: str) -> None:
+        """Admit one request for ``venue`` or raise
+        :class:`~repro.exceptions.OverloadedError`.
+
+        On success the venue's in-flight depth grows by one and the
+        caller **owns a release obligation**: call :meth:`release`
+        exactly once when the request settles (success or failure).
+        Rejections consume nothing — a shed request leaves the bucket
+        and the depth exactly as they were.
+        """
+        with self._mutex:
+            state = self._state(venue)
+            if (self.max_queue_depth is not None
+                    and state.depth >= self.max_queue_depth):
+                state.rejected_depth += 1
+                depth = state.depth
+                self._count_rejection(venue, "depth")
+                raise OverloadedError(
+                    f"venue {self._label(venue)!r} overloaded: {depth} "
+                    f"requests already in flight (bound {self.max_queue_depth})"
+                )
+            if state.bucket is not None:
+                retry_after = state.bucket.try_acquire(self._clock())
+                if retry_after > 0.0:
+                    state.rejected_rate += 1
+                    self._count_rejection(venue, "rate")
+                    raise OverloadedError(
+                        f"venue {self._label(venue)!r} overloaded: rate "
+                        f"allowance exhausted ({self.rate:g}/s, burst "
+                        f"{self.burst:g}) — retry in {retry_after:.3f}s",
+                        retry_after=retry_after,
+                    )
+            state.depth += 1
+            state.admitted += 1
+            depth = state.depth
+        if self.registry is not None:
+            self.registry.counter(
+                "admission_admitted_total", venue=self._label(venue)).inc()
+        self._observe_depth(venue, depth)
+
+    def release(self, venue: str) -> None:
+        """Settle one previously admitted request for ``venue``."""
+        with self._mutex:
+            state = self._venues.get(venue)
+            if state is None or state.depth <= 0:  # pragma: no cover - misuse
+                raise ValueError(
+                    f"release without a matching admit for venue "
+                    f"{self._label(venue)!r}"
+                )
+            state.depth -= 1
+            depth = state.depth
+        self._observe_depth(venue, depth)
+
+    # ------------------------------------------------------------------
+    def depth(self, venue: str) -> int:
+        """Current in-flight count of ``venue`` (0 for unseen venues)."""
+        with self._mutex:
+            state = self._venues.get(venue)
+            return 0 if state is None else state.depth
+
+    def stats(self, venue: str) -> AdmissionStats:
+        """One venue's admission counters (zeros for unseen venues)."""
+        with self._mutex:
+            state = self._venues.get(venue)
+            if state is None:
+                return AdmissionStats(0, 0, 0, 0)
+            return AdmissionStats(state.admitted, state.rejected_rate,
+                                  state.rejected_depth, state.depth)
+
+    def stats_by_venue(self) -> dict[str, dict]:
+        """Every seen venue's counters, keyed by full venue id."""
+        with self._mutex:
+            return {
+                venue: AdmissionStats(
+                    s.admitted, s.rejected_rate, s.rejected_depth, s.depth
+                ).to_doc()
+                for venue, s in self._venues.items()
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdmissionController(rate={self.rate}, burst={self.burst}, "
+            f"max_queue_depth={self.max_queue_depth}, "
+            f"venues={len(self._venues)})"
+        )

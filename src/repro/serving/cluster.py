@@ -61,7 +61,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from time import perf_counter
 
-from ..exceptions import ServingError
+from ..exceptions import OverloadedError, ServingError
 from ..model.indoor_space import IndoorSpace
 from ..model.io_json import objects_to_dict, space_to_dict
 from ..obs import (
@@ -73,7 +73,8 @@ from ..obs import (
     summarize,
 )
 from ..storage.snapshot import venue_fingerprint
-from .protocol import FAULT_KINDS, READ_KINDS, Request
+from .admission import AdmissionController
+from .protocol import FAULT_KINDS, QUERY_KINDS, READ_KINDS, Request
 from .ring import DEFAULT_VNODES, HashRing
 from .shard import (
     DEFAULT_FLUSH_INTERVAL,
@@ -90,6 +91,7 @@ def _collect_cluster_stats(cluster: "ClusterFrontend"):
     """Registry collector: cluster counters as metric fragments."""
     s = cluster.stats()
     yield counter_entry("cluster_submitted_total", s.submitted)
+    yield counter_entry("cluster_rejected_total", s.rejected)
     yield counter_entry("cluster_restarts_total", s.restarts)
     yield counter_entry("cluster_promotions_total", s.promotions)
     yield counter_entry("cluster_moves_total", s.moves)
@@ -110,6 +112,8 @@ class ClusterStats(StatsDoc):
     alive: int = 0
     venues: int = 0
     submitted: int = 0
+    #: requests shed by per-venue admission control (OverloadedError)
+    rejected: int = 0
     restarts: int = 0
     #: replication factor venues are placed with
     replication: int = 1
@@ -172,6 +176,16 @@ class ClusterFrontend:
             own series (submission counters, respawn/move durations).
             A private one is created when not given; :meth:`metrics`
             merges it with every live shard's registry snapshot.
+        admission: optional per-venue
+            :class:`~repro.serving.admission.AdmissionController`.
+            When set, engine-backed requests pass it before any shard
+            work: a venue over its rate allowance or queue-depth bound
+            is shed with a typed
+            :class:`~repro.exceptions.OverloadedError` (retry-after
+            hint attached) instead of being queued — one pathological
+            venue then cannot starve the rest. A controller without
+            its own registry inherits the cluster's, so its
+            counters/gauges surface in :meth:`metrics`.
         slow_query_threshold: seconds; forwarded to every shard worker
             — requests slower than this land in the shard's structured
             slow-query log under ``<catalog_root>/obs/``. ``None``
@@ -197,6 +211,7 @@ class ClusterFrontend:
         oplog: bool = True,
         vnodes: int = DEFAULT_VNODES,
         registry: MetricsRegistry | None = None,
+        admission: AdmissionController | None = None,
         slow_query_threshold: float | None = None,
         mp_context=None,
     ) -> None:
@@ -224,6 +239,9 @@ class ClusterFrontend:
         )
         self.registry = registry if registry is not None else MetricsRegistry()
         self.registry.register_collector(self, _collect_cluster_stats)
+        self.admission = admission
+        if admission is not None and admission.registry is None:
+            admission.registry = self.registry
         self._respawn_timer = self.registry.histogram("cluster_respawn_seconds")
         self._move_timer = self.registry.histogram("cluster_move_seconds")
         self._mp_context = mp_context
@@ -240,6 +258,7 @@ class ClusterFrontend:
         self._reg_order: list[str] = []
         self._accepting = True
         self._submitted = 0
+        self._rejected = 0
         self._restarts = 0
         self._promotions = 0
         self._moves = 0
@@ -566,6 +585,9 @@ class ClusterFrontend:
         <repro.serving.shard.ShardProcess.submit>`.
 
         Raises:
+            OverloadedError: the venue was shed by admission control
+                (rate allowance or queue-depth bound) — the request was
+                not executed; retry after the attached hint.
             ServingError: unknown venue id, cluster shut down, dead
                 shard with restart disabled, or backpressure timeout.
         """
@@ -587,11 +609,31 @@ class ClusterFrontend:
                     f"venue {request.venue[:12]!r} move did not finish "
                     f"within {_MOVE_WAIT}s"
                 )
-        handle = (self._read_handle(reg) if is_read
-                  else self._primary_handle(request.venue, reg))
-        # Keep the plain call signature-stable (tests wrap submit).
-        future = (handle.submit(request, timeout=timeout, raw_reply=True)
-                  if raw_reply else handle.submit(request, timeout=timeout))
+        # Admission control guards engine-backed work only: control
+        # kinds (stats/flush/add_venue/...) are operational traffic a
+        # shed venue must still be able to answer.
+        admission = self.admission
+        admitted = admission is not None and request.kind in QUERY_KINDS
+        if admitted:
+            try:
+                admission.admit(request.venue)
+            except OverloadedError:
+                with self._mutex:
+                    self._rejected += 1
+                raise
+        try:
+            handle = (self._read_handle(reg) if is_read
+                      else self._primary_handle(request.venue, reg))
+            # Keep the plain call signature-stable (tests wrap submit).
+            future = (handle.submit(request, timeout=timeout, raw_reply=True)
+                      if raw_reply else handle.submit(request, timeout=timeout))
+        except BaseException:
+            if admitted:
+                admission.release(request.venue)
+            raise
+        if admitted:
+            future.add_done_callback(
+                lambda _f, venue=request.venue: admission.release(venue))
         with self._mutex:
             self._submitted += 1
         return future
@@ -719,6 +761,7 @@ class ClusterFrontend:
                           if h is not None and h.alive),
                 venues=len(self._registrations),
                 submitted=self._submitted,
+                rejected=self._rejected,
                 restarts=self._restarts,
                 replication=self.replication,
                 promotions=self._promotions,

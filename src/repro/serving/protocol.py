@@ -11,6 +11,11 @@ speaks the same protocol defined here:
   ``ServingRequest`` remains exported for compatibility),
 * :class:`Response` / :class:`ErrorResponse` — the success/failure
   reply envelopes, carrying a typed result document or an exception,
+* :class:`BatchRequest` / :class:`BatchResponse` — N requests in one
+  frame, answered by one frame of N replies in request order with
+  per-element error isolation; amortizes the per-event wire cost
+  (single-request frames are byte-identical to the pre-batch format —
+  a batch is recognized purely by its ``batch`` key),
 * the **wire codec** — every frame is a 4-byte big-endian length prefix
   followed by a canonical-JSON document
   (:func:`~repro.model.io_json.canonical_dumps`: sorted keys, shortest
@@ -44,6 +49,7 @@ from dataclasses import dataclass
 
 from ..core.results import Neighbor, PathResult, QueryStats
 from ..exceptions import (
+    OverloadedError,
     ProtocolError,
     QueryError,
     ReproError,
@@ -171,17 +177,27 @@ class Response:
 
 @dataclass(slots=True, frozen=True)
 class ErrorResponse:
-    """A failed reply: the request id plus the exception it carries."""
+    """A failed reply: the request id plus the exception it carries.
+
+    ``retry_after`` is the typed **overload** rider: when admission
+    control sheds a request, the reply carries the token bucket's
+    next-token horizon (seconds) so clients back off instead of
+    hammering. The key appears on the wire only when set — replies to
+    every other error stay byte-identical to the old format.
+    """
 
     request_id: int
     error: str
     message: str
+    retry_after: float | None = None
 
     def exception(self) -> Exception:
         """Materialize the carried exception (known repro types keep
         their class; anything else arrives as a
         :class:`~repro.exceptions.ServingError`)."""
         cls = _ERROR_TYPES.get(self.error)
+        if cls is OverloadedError:
+            return OverloadedError(self.message, retry_after=self.retry_after)
         if cls is not None:
             return cls(self.message)
         return ServingError(f"{self.error}: {self.message}")
@@ -192,8 +208,8 @@ class ErrorResponse:
 _ERROR_TYPES: dict[str, type[Exception]] = {
     cls.__name__: cls
     for cls in (
-        ProtocolError, QueryError, ReproError, ServingError, SnapshotError,
-        VenueError, ValueError, KeyError, TypeError,
+        OverloadedError, ProtocolError, QueryError, ReproError, ServingError,
+        SnapshotError, VenueError, ValueError, KeyError, TypeError,
     )
 }
 
@@ -371,12 +387,15 @@ def reply_to_doc(reply: Response | ErrorResponse) -> dict:
         if reply.trace is not None:
             doc["trace"] = reply.trace
         return doc
-    return {
+    doc = {
         "id": reply.request_id,
         "ok": False,
         "error": reply.error,
         "message": reply.message,
     }
+    if reply.retry_after is not None:
+        doc["retry_after"] = float(reply.retry_after)
+    return doc
 
 
 def reply_from_doc(doc: dict) -> Response | ErrorResponse:
@@ -388,22 +407,156 @@ def reply_from_doc(doc: dict) -> Response | ErrorResponse:
                 stats=doc.get("stats"),
                 trace=doc.get("trace"),
             )
+        retry_after = doc.get("retry_after")
         return ErrorResponse(
             request_id=int(doc["id"]),
             error=doc["error"],
             message=doc["message"],
+            retry_after=None if retry_after is None else float(retry_after),
         )
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed reply document: {exc!r}") from None
 
 
 def error_reply(request_id: int, exc: BaseException) -> ErrorResponse:
-    """Wrap an exception for the wire (class name + message)."""
+    """Wrap an exception for the wire (class name + message; an
+    :class:`~repro.exceptions.OverloadedError`'s retry-after hint rides
+    along)."""
+    retry_after = getattr(exc, "retry_after", None)
     return ErrorResponse(
         request_id=request_id,
         error=type(exc).__name__,
         message=str(exc),
+        retry_after=None if retry_after is None else float(retry_after),
     )
+
+
+# ----------------------------------------------------------------------
+# Batch frames
+# ----------------------------------------------------------------------
+#: ceiling on requests per batch frame — far above any sensible
+#: amortization window; a frame declaring more is a protocol abuse and
+#: fatal for the connection
+MAX_BATCH_REQUESTS = 1024
+
+
+@dataclass(slots=True, frozen=True)
+class BatchRequest:
+    """Many requests in one wire frame: the amortization envelope.
+
+    A batch frame carries N ordinary request documents and is answered
+    by exactly one :class:`BatchResponse` frame whose replies are **in
+    request order** — clients match positionally (ids are still echoed
+    per element). Errors are isolated per element: a failing request
+    yields an :class:`ErrorResponse` in its slot while its neighbors
+    succeed; per-venue *submission* order within the batch is
+    preserved, so an update followed by a query on the same venue
+    behaves exactly as two single frames would.
+
+    Old single-request frames are untouched — a batch frame is
+    recognized by its ``batch`` key (:func:`is_batch_doc`), which no
+    single-frame document carries.
+    """
+
+    requests: tuple[Request, ...]
+
+
+@dataclass(slots=True, frozen=True)
+class BatchResponse:
+    """The reply envelope of a :class:`BatchRequest`: one
+    success/failure reply per request, in request order."""
+
+    replies: tuple  # of Response | ErrorResponse
+
+    def values(self) -> list:
+        """Decode every reply: result values in request order, with
+        error slots materialized as exception *instances* (not raised —
+        the caller decides per slot)."""
+        return [
+            reply.exception() if isinstance(reply, ErrorResponse)
+            else reply.value()
+            for reply in self.replies
+        ]
+
+
+def is_batch_doc(doc: dict) -> bool:
+    """Whether a decoded frame document is a batch envelope."""
+    return "batch" in doc
+
+
+def batch_request_to_doc(batch: BatchRequest, request_ids) -> dict:
+    """The batch's wire document; ``request_ids`` pairs one id with
+    each request (same length, same order)."""
+    if len(request_ids) != len(batch.requests):
+        raise ProtocolError(
+            f"batch of {len(batch.requests)} requests needs exactly as many "
+            f"ids, got {len(request_ids)}"
+        )
+    if not batch.requests:
+        raise ProtocolError("batch frame must carry at least one request")
+    if len(batch.requests) > MAX_BATCH_REQUESTS:
+        raise ProtocolError(
+            f"batch of {len(batch.requests)} requests exceeds the "
+            f"{MAX_BATCH_REQUESTS}-request batch limit"
+        )
+    return {"batch": [
+        request_to_doc(request, rid)
+        for request, rid in zip(batch.requests, request_ids)
+    ]}
+
+
+def batch_request_from_doc(doc: dict) -> list:
+    """Decode a batch envelope into per-slot ``(request, id)`` pairs.
+
+    Envelope-level damage — ``batch`` not a non-empty list of objects,
+    or above :data:`MAX_BATCH_REQUESTS` — raises :class:`ProtocolError`
+    (fatal for the connection, like any unframeable document). A
+    *well-framed element* with malformed fields degrades to an
+    :class:`ErrorResponse` in its slot instead (its id is salvaged when
+    decodable, ``-1`` otherwise), so one bad request never poisons its
+    batchmates.
+    """
+    elements = doc.get("batch")
+    if not isinstance(elements, list) or not elements:
+        raise ProtocolError(
+            "batch frame must carry a non-empty list of request documents"
+        )
+    if len(elements) > MAX_BATCH_REQUESTS:
+        raise ProtocolError(
+            f"batch of {len(elements)} requests exceeds the "
+            f"{MAX_BATCH_REQUESTS}-request batch limit"
+        )
+    slots = []
+    for element in elements:
+        if not isinstance(element, dict):
+            raise ProtocolError(
+                f"batch element must be a request document, got "
+                f"{type(element).__name__}"
+            )
+        try:
+            slots.append(request_from_doc(element))
+        except ProtocolError as exc:
+            try:
+                rid = int(element.get("id"))
+            except (TypeError, ValueError):
+                rid = -1
+            slots.append(error_reply(rid, exc))
+    return slots
+
+
+def batch_reply_to_doc(batch: BatchResponse) -> dict:
+    """The batch reply's wire document (replies in request order)."""
+    return {"batch": [reply_to_doc(reply) for reply in batch.replies]}
+
+
+def batch_reply_from_doc(doc: dict) -> BatchResponse:
+    """Decode a batch reply envelope."""
+    elements = doc.get("batch")
+    if not isinstance(elements, list):
+        raise ProtocolError("batch reply must carry a list of replies")
+    return BatchResponse(replies=tuple(
+        reply_from_doc(element) for element in elements
+    ))
 
 
 # ----------------------------------------------------------------------

@@ -16,8 +16,13 @@ this module costs nothing for tests that only need a fixture venue.
 
 from __future__ import annotations
 
+import contextlib
 import random
+import signal
+import sys
+import threading
 import time
+import traceback
 from pathlib import Path
 
 from .model.builder import IndoorSpaceBuilder
@@ -96,6 +101,61 @@ def sample_points(space: IndoorSpace, count: int, seed: int = 5) -> list[IndoorP
             )
         )
     return points
+
+
+# ----------------------------------------------------------------------
+# Wedge detection for network-touching tests
+# ----------------------------------------------------------------------
+def all_thread_stacks() -> str:
+    """Every live thread's current stack, formatted — the diagnostic a
+    wedged test needs most (which lock/socket/future everyone is
+    parked on)."""
+    names = {t.ident: t.name for t in threading.enumerate()}
+    chunks = []
+    for ident, frame in sys._current_frames().items():
+        chunks.append(f"--- thread {names.get(ident, ident)!r} ---")
+        chunks.append("".join(traceback.format_stack(frame)).rstrip())
+    return "\n".join(chunks)
+
+
+@contextlib.contextmanager
+def deadline_guard(seconds: float = 120.0):
+    """Fail fast — with a full all-thread stack dump — if the guarded
+    block runs past ``seconds``.
+
+    Network-touching tests (cluster, replication, async front door)
+    hang, when they hang, inside an uninterruptible wait: a
+    ``future.result()`` whose completing thread died, a socket read
+    against a wedged event loop. Pytest's own timeout then comes from
+    the CI harness killing the whole process, which reports *nothing*
+    about which wait wedged. This guard arms a real ``SIGALRM`` — it
+    interrupts the main thread mid-wait, so the raised ``TimeoutError``
+    carries every thread's stack at the moment of the wedge.
+
+    SIGALRM only exists on POSIX and only fires in the main thread; on
+    other platforms/threads the guard degrades to a no-op rather than
+    pretending. Nesting restores the previous timer on exit.
+    """
+    if (not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"deadline_guard: test still running after {seconds:.0f}s — "
+            f"wedged event loop or socket wait?\n{all_thread_stacks()}"
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, on_alarm)
+    previous_timer = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, *(
+            previous_timer if previous_timer[0] > 0.0 else (0.0,)
+        ))
+        signal.signal(signal.SIGALRM, previous_handler)
 
 
 # ----------------------------------------------------------------------

@@ -14,10 +14,27 @@ from repro import IndoorPoint, IPTree, VIPTree, make_object_set
 from repro.baselines import DijkstraOracle
 from repro.datasets import build_campus, build_mall, build_office
 from repro.testing import (  # noqa: F401 — re-exported for fixtures below
+    deadline_guard,
     make_fig1_like_space,
     make_multifloor_space,
     sample_points,
 )
+
+
+# ----------------------------------------------------------------------
+# Wedge detection: every test marked ``net_guard`` (the network-touching
+# suites set it module-wide) runs under a SIGALRM deadline — a wedged
+# event loop or socket wait fails fast with an all-thread stack dump
+# instead of hanging until the CI harness kills the run reportlessly.
+@pytest.fixture(autouse=True)
+def _net_guard(request):
+    marker = request.node.get_closest_marker("net_guard")
+    if marker is None:
+        yield
+        return
+    seconds = float(marker.kwargs.get("seconds", 120.0))
+    with deadline_guard(seconds):
+        yield
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,361 @@
+"""The asyncio front door: wire-exact answers, batch semantics,
+admission control over TCP, and adversarial client behavior.
+
+One event loop multiplexes every connection, so the properties under
+test are exactly the ones a thread-per-connection server got for free
+plus the ones it couldn't give:
+
+* answers over the wire are element-wise identical to direct cluster
+  submission (and batch answers to sequential single frames),
+* batch replies arrive in request order with per-element error
+  isolation — including per-venue update→query ordering within a
+  batch,
+* a malformed or hostile client gets a typed error or a closed
+  connection and **cannot wedge the loop**: the server must keep
+  serving fresh connections after every abuse (hypothesis-fuzzed),
+* admission-shed requests surface as typed ``OverloadedError`` replies
+  with their retry-after hint, batchmates unaffected.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import build_mall, random_objects, random_point
+from repro.exceptions import OverloadedError, ProtocolError
+from repro.model.objects import UpdateOp
+from repro.serving import (
+    AdmissionController,
+    AsyncFrontDoor,
+    ClusterFrontend,
+    FrontDoorClient,
+    Request,
+)
+from repro.serving.protocol import (
+    ErrorResponse,
+    encode_frame,
+    recv_doc,
+    request_to_doc,
+    result_to_doc,
+    send_doc,
+)
+
+import random
+
+# Real sockets + an event-loop thread: wedges fail fast with a dump.
+pytestmark = pytest.mark.net_guard
+
+
+# ----------------------------------------------------------------------
+# One served cluster for the module (admission tests build their own)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    space = build_mall("tiny", name="door-mall")
+    objects = random_objects(space, 12, seed=9)
+    catalog = tmp_path_factory.mktemp("door-catalog")
+    with ClusterFrontend(catalog, shards=2) as cluster:
+        vid = cluster.add_venue(space, objects=objects)
+        with AsyncFrontDoor(cluster, names={vid: space.name}) as door:
+            yield cluster, door, space, vid
+
+
+def _queries(space, vid, n, seed=3):
+    rng = random.Random(seed)
+    return [
+        Request(venue=vid, kind="knn", source=random_point(space, rng), k=3)
+        for _ in range(n)
+    ]
+
+
+def _raw_connection(door):
+    sock = socket.create_connection(door.address, timeout=30.0)
+    sock.settimeout(30.0)
+    return sock
+
+
+def _server_still_serves(door, vid) -> bool:
+    """The liveness probe every abuse test ends on: a fresh connection
+    gets a real answer."""
+    with FrontDoorClient(door.address, timeout=30.0) as client:
+        return client.call(Request(venue="", kind="ping")) == {"ok": True}
+
+
+# ----------------------------------------------------------------------
+# Wire-exact answers
+# ----------------------------------------------------------------------
+def test_single_frames_match_direct_submission(served):
+    cluster, door, space, vid = served
+    requests = _queries(space, vid, 12)
+    direct = [result_to_doc(cluster.submit(r).result(timeout=30.0))
+              for r in requests]
+    with FrontDoorClient(door.address) as client:
+        over_wire = [result_to_doc(client.call(r)) for r in requests]
+    assert over_wire == direct
+
+
+def test_batch_equals_sequential_singles(served):
+    _, door, space, vid = served
+    requests = _queries(space, vid, 16, seed=11)
+    with FrontDoorClient(door.address) as client:
+        singles = [client.call(r) for r in requests]
+        ids = client.send_batch(requests)
+        batch = client.recv_batch()
+    assert [r.request_id for r in batch.replies] == ids  # request order
+    assert batch.values() == singles
+
+
+def test_batch_isolates_per_element_failures(served):
+    _, door, space, vid = served
+    good = _queries(space, vid, 2, seed=5)
+    bad = Request(venue="f" * 64, kind="distance")  # unknown venue
+    with FrontDoorClient(door.address) as client:
+        values = client.call_batch([good[0], bad, good[1]])
+    assert not isinstance(values[0], Exception)
+    assert not isinstance(values[2], Exception)
+    assert isinstance(values[1], Exception)  # the bad slot, alone, failed
+
+
+def test_batch_preserves_update_then_query_ordering(served):
+    """An insert followed by a kNN at the same point, in one batch:
+    the query must see the object the update just inserted."""
+    _, door, space, vid = served
+    point = random_point(space, random.Random(23))
+    with FrontDoorClient(door.address) as client:
+        insert = Request(venue=vid, kind="update",
+                         op=UpdateOp(kind="insert", location=point,
+                                     label="probe", category="probe"))
+        query = Request(venue=vid, kind="knn", source=point, k=1)
+        new_id, neighbors = client.call_batch([insert, query])
+        assert neighbors[0].object_id == new_id
+        assert neighbors[0].distance == 0.0
+        client.call(Request(venue=vid, kind="update",
+                            op=UpdateOp(kind="delete", object_id=new_id)))
+
+
+def test_local_kinds_answered_by_the_front_door(served):
+    _, door, space, vid = served
+    with FrontDoorClient(door.address) as client:
+        listing = client.call(Request(venue="", kind="venues"))
+        assert listing["venues"] == [{"id": vid, "name": space.name}]
+        assert client.call(Request(venue="", kind="ping")) == {"ok": True}
+        stats = client.call(Request(venue="", kind="stats"))
+        assert stats["venues"] == 1 and stats["shards"] == 2
+        metrics = client.call(Request(venue="", kind="metrics"))
+        names = {c["name"] for c in metrics["counters"].values()}
+        assert "frontdoor_frames_total" in names
+        hists = {h["name"] for h in metrics["histograms"].values()}
+        assert "frontdoor_request_seconds" in hists
+
+
+def test_concurrent_clients_all_get_their_own_answers(served):
+    cluster, door, space, vid = served
+    requests = _queries(space, vid, 6, seed=29)
+    expected = [result_to_doc(cluster.submit(r).result(timeout=30.0))
+                for r in requests]
+    failures: list = []
+
+    def worker(batched: bool) -> None:
+        try:
+            with FrontDoorClient(door.address) as client:
+                for _ in range(3):
+                    if batched:
+                        got = [result_to_doc(v)
+                               for v in client.call_batch(requests)]
+                    else:
+                        got = [result_to_doc(client.call(r))
+                               for r in requests]
+                    if got != expected:
+                        failures.append((batched, got))
+        except Exception as exc:  # noqa: BLE001 - collected for the assert
+            failures.append((batched, exc))
+
+    threads = [threading.Thread(target=worker, args=(i % 2 == 0,))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60.0)
+    assert not failures
+
+
+# ----------------------------------------------------------------------
+# Hostile clients: typed errors or a closed connection, never a wedge
+# ----------------------------------------------------------------------
+def test_malformed_request_with_salvageable_id_gets_typed_error(served):
+    _, door, space, vid = served
+    sock = _raw_connection(door)
+    try:
+        send_doc(sock, {"id": 41, "kind": "distance"})  # no venue field
+        reply = recv_doc(sock)
+        assert reply["id"] == 41 and reply["error"] == "ProtocolError"
+        # the connection survived: a well-formed request still answers
+        send_doc(sock, request_to_doc(Request(venue="", kind="ping"), 42))
+        assert recv_doc(sock)["id"] == 42
+    finally:
+        sock.close()
+    assert _server_still_serves(door, vid)
+
+
+def test_unsalvageable_document_closes_the_connection(served):
+    _, door, space, vid = served
+    sock = _raw_connection(door)
+    try:
+        send_doc(sock, {"kind": "distance"})  # no id to reply under
+        assert recv_doc(sock) is None  # server closed cleanly
+    finally:
+        sock.close()
+    assert _server_still_serves(door, vid)
+
+
+def test_damaged_batch_envelope_closes_the_connection(served):
+    _, door, space, vid = served
+    for envelope in ({"batch": []}, {"batch": 42}):
+        sock = _raw_connection(door)
+        try:
+            send_doc(sock, envelope)
+            assert recv_doc(sock) is None
+        finally:
+            sock.close()
+    assert _server_still_serves(door, vid)
+
+
+def test_truncated_frame_closes_the_connection(served):
+    _, door, space, vid = served
+    frame = encode_frame(request_to_doc(Request(venue="", kind="ping"), 1))
+    sock = _raw_connection(door)
+    try:
+        sock.sendall(frame[: len(frame) - 3])
+        sock.shutdown(socket.SHUT_WR)  # EOF mid-frame
+        assert recv_doc(sock) is None
+    finally:
+        sock.close()
+    assert _server_still_serves(door, vid)
+
+
+def test_oversized_declared_length_closes_the_connection(served):
+    _, door, space, vid = served
+    sock = _raw_connection(door)
+    try:
+        sock.sendall((2**31).to_bytes(4, "big"))
+        assert recv_doc(sock) is None
+    finally:
+        sock.close()
+    assert _server_still_serves(door, vid)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(garbage=st.binary(min_size=1, max_size=128))
+def test_fuzz_arbitrary_bytes_never_wedge_the_server(served, garbage):
+    """Arbitrary bytes — mangled prefixes, spliced junk, half-frames:
+    the server replies or closes, and keeps serving fresh clients."""
+    _, door, space, vid = served
+    sock = _raw_connection(door)
+    try:
+        sock.sendall(garbage)
+        sock.shutdown(socket.SHUT_WR)
+        # read whatever comes back until EOF/damage; must terminate
+        for _ in range(64):
+            try:
+                if recv_doc(sock) is None:
+                    break
+            except ProtocolError:
+                break
+        else:
+            raise AssertionError("reply stream did not resolve")
+    finally:
+        sock.close()
+    assert _server_still_serves(door, vid)
+
+
+def test_mid_frame_disconnect_after_valid_traffic(served):
+    """A client that worked, then died mid-frame: no leak, no wedge."""
+    _, door, space, vid = served
+    sock = _raw_connection(door)
+    try:
+        send_doc(sock, request_to_doc(Request(venue="", kind="ping"), 7))
+        assert recv_doc(sock)["id"] == 7
+        sock.sendall(b"\x00\x00\x10\x00partial")  # promises 4096 bytes
+    finally:
+        sock.close()  # …and vanishes
+    assert _server_still_serves(door, vid)
+
+
+# ----------------------------------------------------------------------
+# Admission control over the wire
+# ----------------------------------------------------------------------
+def test_shed_requests_get_typed_overload_with_retry_hint(tmp_path):
+    space = build_mall("tiny", name="shed-mall")
+    objects = random_objects(space, 8, seed=3)
+    admission = AdmissionController(rate=0.001, burst=2.0)
+    with ClusterFrontend(tmp_path / "cat", shards=1,
+                         admission=admission) as cluster:
+        vid = cluster.add_venue(space, objects=objects)
+        with AsyncFrontDoor(cluster) as door:
+            requests = _queries(space, vid, 4, seed=7)
+            with FrontDoorClient(door.address) as client:
+                # burst of 2: two answered, then typed sheds
+                client.call(requests[0])
+                client.call(requests[1])
+                with pytest.raises(OverloadedError) as caught:
+                    client.call(requests[2])
+                assert caught.value.retry_after == pytest.approx(
+                    1000.0, rel=0.1)  # 1 token / 0.001 per s
+
+                # batch: shed slots isolated, control kinds unaffected
+                values = client.call_batch(requests)
+                assert all(isinstance(v, OverloadedError) for v in values)
+                assert client.call(Request(venue="", kind="ping")) == {
+                    "ok": True}
+
+                # rejections visible in the merged metrics
+                metrics = client.call(Request(venue="", kind="metrics"))
+                rejected = [
+                    c for c in metrics["counters"].values()
+                    if c["name"] == "admission_rejected_total"
+                ]
+                assert rejected and rejected[0]["labels"]["venue"] == vid[:12]
+                assert sum(c["value"] for c in rejected) >= 5
+            assert cluster.stats().rejected >= 5
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def test_front_door_lifecycle(tmp_path):
+    space = build_mall("tiny", name="life-mall")
+    with ClusterFrontend(tmp_path / "cat", shards=1) as cluster:
+        cluster.add_venue(space)
+        door = AsyncFrontDoor(cluster)
+        door.start()
+        with pytest.raises(Exception, match="already started"):
+            door.start()
+        address = door.address
+        door.stop()
+        door.stop()  # idempotent
+        with pytest.raises(OSError):
+            socket.create_connection(address, timeout=2.0)
+
+
+def test_bind_failure_surfaces_at_start(tmp_path):
+    space = build_mall("tiny", name="bind-mall")
+    with ClusterFrontend(tmp_path / "cat", shards=1) as cluster:
+        cluster.add_venue(space)
+        with AsyncFrontDoor(cluster) as door:
+            clash = AsyncFrontDoor(cluster, port=door.address[1])
+            with pytest.raises(OSError):
+                clash.start()
+
+
+def test_submit_workers_must_be_positive(tmp_path):
+    space = build_mall("tiny", name="w-mall")
+    with ClusterFrontend(tmp_path / "cat", shards=1) as cluster:
+        cluster.add_venue(space)
+        with pytest.raises(Exception, match="submit_workers"):
+            AsyncFrontDoor(cluster, submit_workers=0)

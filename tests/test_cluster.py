@@ -39,6 +39,9 @@ from repro.storage import SnapshotCatalog
 
 import random
 
+# Real child processes + sockets: wedges fail fast with a stack dump.
+pytestmark = pytest.mark.net_guard
+
 
 def wait_until(predicate, timeout=10.0, interval=0.01):
     deadline = time.monotonic() + timeout
@@ -472,3 +475,16 @@ def test_cli_serves_and_self_tests_over_tcp(tmp_path, capsys):
     assert rc == 0
     assert "serving 1 venue(s)" in out
     assert "events/s" in out
+
+
+def test_cli_batched_self_test_with_admission(tmp_path, capsys):
+    rc = serving_cli([
+        "serve", "--catalog", str(tmp_path / "cat"), "--venue", "MC",
+        "--profile", "tiny", "--shards", "2", "--port", "0",
+        "--events", "30", "--seed", "3", "--batch", "10",
+        "--admission-rate", "10000", "--shed-depth", "64",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "admission rate=10000.0/s" in out
+    assert "batch=10" in out and "0 failed" in out

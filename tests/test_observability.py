@@ -563,3 +563,89 @@ class TestStatsDocSchema:
             assert key in doc
         assert isinstance(doc["router"], dict)
         assert "warm_starts" in doc["router"]
+
+
+# ----------------------------------------------------------------------
+# CLI and HTTP exposition (the scrape surfaces operators actually hit)
+# ----------------------------------------------------------------------
+class TestMetricsExposition:
+    @pytest.fixture()
+    def served_cluster(self, tmp_path):
+        from repro.serving import AsyncFrontDoor
+
+        space = build_mall("tiny", name="obs-cli")
+        with ClusterFrontend(tmp_path, shards=1, flush_interval=0) as cluster:
+            vid = cluster.add_venue(
+                space, objects=random_objects(space, 6, seed=1))
+            rng = random.Random(4)
+            for _ in range(3):
+                cluster.request(vid, "knn", source=random_point(space, rng),
+                                k=2).result(timeout=60.0)
+            cluster.drain()
+            with AsyncFrontDoor(cluster) as door:
+                yield cluster, door
+
+    def test_obs_dump_prints_summarized_json(self, served_cluster, capsys):
+        from repro.obs.__main__ import main as obs_cli
+
+        _, door = served_cluster
+        rc = obs_cli(["dump", "--port", str(door.address[1])])
+        assert rc == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        counters = {c["name"] for c in snapshot["counters"].values()}
+        assert "router_requests_total" in counters
+        knn = snapshot["histograms"][
+            metric_key("engine_query_seconds", {"kind": "knn"})]
+        assert knn["count"] == 3
+        for q in ("p50", "p95", "p99"):  # dump ships summarized quantiles
+            assert knn[q] is not None
+
+    def test_obs_dump_prometheus_text_shape(self, served_cluster, capsys):
+        from repro.obs.__main__ import main as obs_cli
+
+        _, door = served_cluster
+        rc = obs_cli(["dump", "--port", str(door.address[1]),
+                      "--prometheus"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "# TYPE router_requests_total counter" in text
+        assert "# TYPE engine_query_seconds histogram" in text
+        assert 'engine_query_seconds_bucket{kind="knn",le="+Inf"} 3' in text
+        assert 'engine_query_seconds_count{kind="knn"} 3' in text
+        # every sample line is name{labels} value — no blank payloads
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                assert len(line.rsplit(" ", 1)) == 2
+
+    def test_metrics_http_sidecar_serves_both_formats(self, served_cluster):
+        from urllib.error import HTTPError
+        from urllib.request import urlopen
+
+        from repro.serving.__main__ import _start_metrics_server
+
+        cluster, _ = served_cluster
+        server = _start_metrics_server(cluster, 0)
+        try:
+            port = server.server_address[1]
+            with urlopen(f"http://127.0.0.1:{port}/metrics.json",
+                         timeout=30.0) as response:
+                assert response.headers["Content-Type"] == "application/json"
+                snapshot = json.loads(response.read().decode("utf-8"))
+            assert set(snapshot) == {"counters", "gauges", "histograms"}
+            counters = {c["name"] for c in snapshot["counters"].values()}
+            assert "router_requests_total" in counters
+
+            with urlopen(f"http://127.0.0.1:{port}/metrics",
+                         timeout=30.0) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain")
+                text = response.read().decode("utf-8")
+            assert "# TYPE engine_query_seconds histogram" in text
+
+            with pytest.raises(HTTPError) as caught:
+                urlopen(f"http://127.0.0.1:{port}/nope", timeout=30.0)
+            assert caught.value.code == 404
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -4,7 +4,11 @@ Pure protocol-layer tests — no worker processes. Covers the edge cases
 the sharded cluster depends on: bit-exact value round-trips (floats
 cross the wire through packed base64, not JSON decimals), oversized
 and truncated frames, malformed documents, unknown request/result
-kinds, and exception reconstruction on the client side.
+kinds, exception reconstruction on the client side, the batch
+envelope's ordering/isolation contract, and an adversarial fuzz pass
+(hypothesis-mangled length prefixes, frames truncated at arbitrary
+byte offsets, garbage spliced between valid frames) asserting the
+reader always answers ``ProtocolError``/EOF — it never hangs.
 """
 
 from __future__ import annotations
@@ -14,22 +18,32 @@ import socket
 import threading
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.results import Neighbor, PathResult, QueryStats
-from repro.exceptions import ProtocolError, QueryError, ServingError
+from repro.exceptions import OverloadedError, ProtocolError, QueryError, ServingError
 from repro.model.entities import IndoorPoint
 from repro.model.objects import UpdateOp
 from repro.serving.protocol import (
     CONTROL_KINDS,
+    MAX_BATCH_REQUESTS,
     MAX_FRAME_BYTES,
     QUERY_KINDS,
     REQUEST_KINDS,
+    BatchRequest,
+    BatchResponse,
     ErrorResponse,
     Request,
     Response,
+    batch_reply_from_doc,
+    batch_reply_to_doc,
+    batch_request_from_doc,
+    batch_request_to_doc,
     decode_frame,
     encode_frame,
     error_reply,
+    is_batch_doc,
     recv_doc,
     reply_from_doc,
     reply_to_doc,
@@ -284,4 +298,197 @@ def test_reader_side_frame_limit_wins_over_the_default():
             recv_doc(b, max_bytes=16)
     finally:
         a.close()
+        b.close()
+
+
+# ----------------------------------------------------------------------
+# Batch envelope: ordering, isolation, wire compatibility
+# ----------------------------------------------------------------------
+def _batch_of(n: int) -> BatchRequest:
+    source, target = _points()
+    return BatchRequest(tuple(
+        Request(venue=f"{i:064d}", kind="distance", source=source,
+                target=target)
+        for i in range(n)
+    ))
+
+
+def test_batch_request_round_trips_in_order():
+    batch = _batch_of(5)
+    doc = batch_request_to_doc(batch, [10, 11, 12, 13, 14])
+    assert is_batch_doc(doc)
+    slots = batch_request_from_doc(doc)
+    assert [rid for _, rid in slots] == [10, 11, 12, 13, 14]
+    assert tuple(req for req, _ in slots) == batch.requests
+
+
+def test_single_frames_are_untouched_by_batching():
+    """A single-request document carries no ``batch`` key — the
+    discriminator — so pre-batch frames are byte-identical."""
+    doc = request_to_doc(Request(venue="v", kind="ping"), 1)
+    assert not is_batch_doc(doc)
+    reply_doc = reply_to_doc(Response(1, result_to_doc(None)))
+    assert not is_batch_doc(reply_doc)
+
+
+def test_batch_isolates_a_malformed_element():
+    batch = _batch_of(3)
+    doc = batch_request_to_doc(batch, [0, 1, 2])
+    del doc["batch"][1]["venue"]  # damage one element's fields
+    slots = batch_request_from_doc(doc)
+    assert isinstance(slots[0], tuple) and isinstance(slots[2], tuple)
+    damaged = slots[1]
+    assert isinstance(damaged, ErrorResponse)
+    assert damaged.request_id == 1  # id salvaged from the element
+    assert damaged.error == "ProtocolError"
+
+
+def test_batch_element_without_salvageable_id_gets_minus_one():
+    doc = batch_request_to_doc(_batch_of(1), [7])
+    doc["batch"][0] = {"kind": "distance"}  # no id, no venue
+    (damaged,) = batch_request_from_doc(doc)
+    assert isinstance(damaged, ErrorResponse) and damaged.request_id == -1
+
+
+@pytest.mark.parametrize("envelope", [
+    {"batch": []}, {"batch": 42}, {"batch": "nope"}, {"batch": None},
+])
+def test_damaged_batch_envelope_is_fatal(envelope):
+    with pytest.raises(ProtocolError):
+        batch_request_from_doc(envelope)
+
+
+def test_batch_element_of_wrong_type_is_fatal():
+    with pytest.raises(ProtocolError, match="request document"):
+        batch_request_from_doc({"batch": [["not", "a", "doc"]]})
+
+
+def test_batch_size_limits():
+    with pytest.raises(ProtocolError, match="at least one"):
+        batch_request_to_doc(BatchRequest(()), [])
+    with pytest.raises(ProtocolError, match="exactly as many ids"):
+        batch_request_to_doc(_batch_of(2), [0])
+    over = {"batch": [{"id": i} for i in range(MAX_BATCH_REQUESTS + 1)]}
+    with pytest.raises(ProtocolError, match="exceeds"):
+        batch_request_from_doc(over)
+
+
+def test_batch_reply_round_trips_with_isolated_errors():
+    replies = (
+        Response(0, result_to_doc([Neighbor(1, 2.5)])),
+        error_reply(1, QueryError("gone")),
+        Response(2, result_to_doc(None)),
+    )
+    restored = batch_reply_from_doc(batch_reply_to_doc(BatchResponse(replies)))
+    assert restored.replies == replies
+    values = restored.values()
+    assert values[0] == [Neighbor(1, 2.5)]
+    assert isinstance(values[1], QueryError)  # instance, not raised
+    assert values[2] is None
+
+
+def test_damaged_batch_reply_envelope_raises():
+    with pytest.raises(ProtocolError, match="list of replies"):
+        batch_reply_from_doc({"batch": 3})
+
+
+# ----------------------------------------------------------------------
+# Overload rider: typed retry-after across the wire
+# ----------------------------------------------------------------------
+def test_overloaded_error_carries_retry_after_across_the_wire():
+    reply = reply_from_doc(reply_to_doc(error_reply(
+        4, OverloadedError("venue hot", retry_after=0.125))))
+    assert isinstance(reply, ErrorResponse)
+    assert reply.retry_after == 0.125
+    exc = reply.exception()
+    assert type(exc) is OverloadedError and exc.retry_after == 0.125
+
+
+def test_depth_shed_overload_has_no_retry_horizon():
+    exc = reply_from_doc(reply_to_doc(error_reply(
+        4, OverloadedError("depth")))).exception()
+    assert type(exc) is OverloadedError and exc.retry_after is None
+
+
+def test_plain_errors_stay_byte_identical_without_retry_after():
+    doc = reply_to_doc(error_reply(1, QueryError("x")))
+    assert "retry_after" not in doc  # old wire format untouched
+
+
+# ----------------------------------------------------------------------
+# Adversarial framing fuzz: the reader never hangs
+# ----------------------------------------------------------------------
+FUZZ = dict(max_examples=50, deadline=None)
+
+#: a received frame resolves one of exactly three ways
+_RESOLVED = "ProtocolError, a decoded document, or clean EOF"
+
+
+def _drain(sock) -> None:
+    """Read frames until the stream resolves; every step must be one
+    of: a decoded doc, clean EOF (None), or ProtocolError. A hang
+    surfaces as ``socket.timeout`` — a test failure, by design."""
+    for _ in range(64):  # any fuzz input resolves well before this
+        try:
+            if recv_doc(sock) is None:
+                return
+        except ProtocolError:
+            return
+    raise AssertionError(f"stream did not resolve to {_RESOLVED}")
+
+
+@settings(**FUZZ)
+@given(prefix=st.binary(min_size=4, max_size=4),
+       payload=st.binary(max_size=256))
+def test_fuzz_mangled_length_prefix_never_hangs(prefix, payload):
+    """Arbitrary 4-byte length prefix + arbitrary payload: the reader
+    answers ProtocolError (oversize/truncation/undecodable), a doc, or
+    EOF — it never blocks past its timeout."""
+    a, b = _pipe()
+    try:
+        a.sendall(prefix + payload)
+        a.close()
+        _drain(b)
+    finally:
+        b.close()
+
+
+@settings(**FUZZ)
+@given(cut=st.integers(min_value=0, max_value=10_000),
+       blob=st.text(max_size=64))
+def test_fuzz_truncation_at_any_byte_offset(cut, blob):
+    """A valid frame cut at any byte offset: EOF at a frame boundary
+    (cut 0 or full length) is clean; anywhere else is ProtocolError."""
+    frame = encode_frame({"blob": blob})
+    cut = min(cut, len(frame))
+    a, b = _pipe()
+    try:
+        a.sendall(frame[:cut])
+        a.close()
+        if cut == 0:
+            assert recv_doc(b) is None
+        elif cut == len(frame):
+            assert recv_doc(b) == {"blob": blob}
+            assert recv_doc(b) is None
+        else:
+            with pytest.raises(ProtocolError, match="truncated|oversized"):
+                recv_doc(b)
+    finally:
+        b.close()
+
+
+@settings(**FUZZ)
+@given(garbage=st.binary(min_size=1, max_size=64))
+def test_fuzz_garbage_spliced_between_valid_frames(garbage):
+    """Valid frame, then garbage, then another valid frame: the first
+    frame always decodes; after the splice the reader resolves — it
+    never wedges waiting for bytes that already arrived."""
+    first, second = {"seq": 1}, {"seq": 2}
+    a, b = _pipe()
+    try:
+        a.sendall(encode_frame(first) + garbage + encode_frame(second))
+        a.close()
+        assert recv_doc(b) == first
+        _drain(b)  # garbage may mimic frames; it must still resolve
+    finally:
         b.close()

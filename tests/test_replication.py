@@ -36,6 +36,9 @@ from repro.serving import (
 )
 from repro.serving.protocol import result_to_doc
 from repro.storage import SnapshotCatalog
+
+# Real child processes + sockets: wedges fail fast with a stack dump.
+pytestmark = pytest.mark.net_guard
 from repro.testing import (
     ClusterFaultHarness,
     corrupt_oplog_tail,
