@@ -53,6 +53,7 @@ class _Search:
         ctx: "QueryContext | None" = None,
         kernels=None,
         stats: QueryStats | None = None,
+        collect_leaves: bool = False,
     ) -> None:
         if index.tree is not tree:
             raise QueryError("object index was built for a different tree")
@@ -81,6 +82,10 @@ class _Search:
         # An out-parameter when the caller wants the counters (the
         # engine's stats= plumbing); otherwise a private scratch object.
         self.stats = stats if stats is not None else QueryStats()
+        #: when True the search reports the conservative bound-ball leaf
+        #: closure of its answer in ``stats.result_leaves`` (the engine's
+        #: leaf-scoped cache invalidation reads it)
+        self.collect_leaves = collect_leaves
 
     # ------------------------------------------------------------------
     def child_distances(self, parent_id: int, child_id: int) -> dict[int, float]:
@@ -205,6 +210,41 @@ class _Search:
                     heapq.heappush(heap, (bases[si] + d, o, si, i))
 
 
+def contributing_leaves(search: _Search, bound: float) -> frozenset:
+    """The conservative bound-ball leaf closure of a finished search:
+    every leaf ``L`` with ``mindist(q, L) <= bound``, plus the query
+    leaf (whose mindist is 0 by containment).
+
+    This is the invalidation contract behind the engine's leaf-scoped
+    result caches: an object anywhere else is at distance strictly
+    greater than ``bound``, so inserting/deleting/moving it cannot
+    change any answer whose pruning bound was ``bound`` (kNN ties at
+    the k-th distance included — ``<=`` keeps the boundary leaf).
+    The closure walks the tree top-down with the same Lemma 8/9 float
+    arithmetic as the search itself (``mindist`` is monotone
+    non-increasing toward the root, so pruned subtrees contain no
+    qualifying leaf), but *without* the object-count pruning: leaves
+    that are empty today still receive tomorrow's inserts.
+    """
+    tree = search.tree
+    leaves = {search.leaf_q}
+    stack = [tree.root_id]
+    while stack:
+        nid = stack.pop()
+        node = tree.nodes[nid]
+        if node.is_leaf:
+            leaves.add(nid)
+            continue
+        for cid in node.children:
+            if cid in search.chain_pos:
+                stack.append(cid)  # contains q: mindist is 0
+                continue
+            dists = search.child_distances(nid, cid)
+            if min(dists.values(), default=INF) <= bound:
+                stack.append(cid)
+    return frozenset(leaves)
+
+
 def knn(
     tree: "IPTree",
     index: ObjectIndex,
@@ -213,6 +253,7 @@ def knn(
     ctx: "QueryContext | None" = None,
     kernels=None,
     stats: QueryStats | None = None,
+    collect_leaves: bool = False,
 ) -> list[Neighbor]:
     """Algorithm 5: the k nearest objects to ``query`` by indoor distance.
 
@@ -225,7 +266,8 @@ def knn(
     """
     if k <= 0:
         raise QueryError(f"k must be positive, got {k}")
-    search = _Search(tree, index, query, ctx, kernels, stats)
+    search = _Search(tree, index, query, ctx, kernels, stats,
+                     collect_leaves=collect_leaves)
     if search.kernels is not None:
         # Array backends may answer the whole query eagerly (every
         # node's distances in a few level-batched ops) instead of
@@ -284,4 +326,11 @@ def knn(
                     heapq.heappush(heap, (child_min, cid))
 
     out = sorted(((-nd, -noid) for nd, noid in results))
+    if collect_leaves:
+        # With fewer than k results every leaf could still contribute
+        # (the effective bound is infinite) — None tags the answer as
+        # depending on all leaves.
+        stats.result_leaves = (
+            contributing_leaves(search, out[-1][0]) if len(out) >= k else None
+        )
     return [Neighbor(object_id=oid, distance=d) for d, oid in out]

@@ -12,7 +12,7 @@ from typing import TYPE_CHECKING
 
 from ..exceptions import QueryError
 from .objects_index import ObjectIndex
-from .query_knn import _Search
+from .query_knn import _Search, contributing_leaves
 from .results import Neighbor, QueryStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -28,15 +28,20 @@ def range_query(
     ctx: "QueryContext | None" = None,
     kernels=None,
     stats: QueryStats | None = None,
+    collect_leaves: bool = False,
 ) -> list[Neighbor]:
     """All objects within ``radius`` of ``query``, sorted by distance.
 
     ``stats`` is an optional out-parameter, as in
-    :func:`~repro.core.query_knn.knn`.
+    :func:`~repro.core.query_knn.knn`; ``collect_leaves=True``
+    additionally reports the radius-ball leaf closure in
+    ``stats.result_leaves`` (see
+    :func:`~repro.core.query_knn.contributing_leaves`).
     """
     if radius < 0:
         raise QueryError(f"radius must be non-negative, got {radius}")
-    search = _Search(tree, index, query, ctx, kernels, stats)
+    search = _Search(tree, index, query, ctx, kernels, stats,
+                     collect_leaves=collect_leaves)
     if search.kernels is not None:
         # See query_knn.knn: eager array backends answer whole queries.
         full = getattr(search.kernels, "range_full", None)
@@ -75,4 +80,6 @@ def range_query(
                     heapq.heappush(heap, (child_min, cid))
 
     found.sort()
+    if collect_leaves:
+        stats.result_leaves = contributing_leaves(search, radius)
     return [Neighbor(object_id=oid, distance=d) for d, oid in found]

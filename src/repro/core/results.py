@@ -28,11 +28,22 @@ class QueryStats:
     #: (the other counters then describe zero work — the cached entry's
     #: original cost was counted when it was computed)
     cache_hit: bool = False
+    #: the conservative set of leaf ids whose objects could have
+    #: contributed to a kNN/range answer (the bound-ball closure),
+    #: captured only when the search is asked to (``collect_leaves=``);
+    #: ``None`` means "not captured" / "depends on every leaf". Engine-
+    #: internal — the wire stats document does not carry it.
+    result_leaves: frozenset | None = None
 
     def merge(self, other: "QueryStats") -> "QueryStats":
         """Fold ``other``'s work into this object (counters add, flags
         or): the accumulation primitive behind the engine's ``stats=``
-        out-parameters and batch totals. Returns ``self``."""
+        out-parameters and batch totals. Returns ``self``.
+
+        ``result_leaves`` is per-answer state, not a counter: merging
+        keeps the union only when both sides captured a set, and
+        poisons to ``None`` (conservative "all leaves") otherwise.
+        """
         self.pairs_considered += other.pairs_considered
         self.superior_pairs += other.superior_pairs
         self.nodes_visited += other.nodes_visited
@@ -40,6 +51,10 @@ class QueryStats:
         self.list_entries_scanned += other.list_entries_scanned
         self.same_leaf = self.same_leaf or other.same_leaf
         self.cache_hit = self.cache_hit or other.cache_hit
+        if self.result_leaves is None or other.result_leaves is None:
+            self.result_leaves = None
+        else:
+            self.result_leaves = self.result_leaves | other.result_leaves
         return self
 
 

@@ -504,18 +504,19 @@ class IPTree:
         return shortest_path(self, source, target, ctx)
 
     def knn(self, object_index, query, k: int, ctx=None, kernels=None,
-            stats=None):
+            stats=None, collect_leaves: bool = False):
         from .query_knn import knn
 
         return knn(self, object_index, query, k, ctx, kernels=kernels,
-                   stats=stats)
+                   stats=stats, collect_leaves=collect_leaves)
 
     def range_query(self, object_index, query, radius: float, ctx=None,
-                    kernels=None, stats=None):
+                    kernels=None, stats=None, collect_leaves: bool = False):
         from .query_range import range_query
 
         return range_query(self, object_index, query, radius, ctx,
-                           kernels=kernels, stats=stats)
+                           kernels=kernels, stats=stats,
+                           collect_leaves=collect_leaves)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

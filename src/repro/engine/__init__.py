@@ -6,6 +6,10 @@
   (``update``/``batch_update``) with targeted kNN/range cache
   invalidation,
 * :class:`LRUCache` — the bounded cache primitive,
+* :class:`TaggedLRUCache` — the leaf-tagged variant behind the
+  engine's scoped kNN/range invalidation (entries carry the set of
+  tree leaves their answer depends on; updates drop only entries
+  tagged with the touched leaves),
 * :class:`RWLock` — the readers-writer lock behind
   ``QueryEngine(thread_safe=True)`` (queries share the read side,
   object updates take the write side; see :mod:`repro.serving` for the
@@ -18,6 +22,7 @@
 
 from .cache import LRUCache
 from .engine import EngineStats, QueryEngine
+from .invalidation import TaggedLRUCache
 from .locking import RWLock
 from .workload import WorkloadReport, replay
 
@@ -26,6 +31,7 @@ __all__ = [
     "LRUCache",
     "QueryEngine",
     "RWLock",
+    "TaggedLRUCache",
     "WorkloadReport",
     "replay",
 ]

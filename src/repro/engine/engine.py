@@ -12,7 +12,12 @@ The engine wraps one built index — :class:`~repro.core.tree.IPTree`,
   ``delete_object`` / ``move_object``) — dynamic object updates that
   maintain the object index incrementally and invalidate **only** the
   object-dependent result caches (kNN/range); distance/path caches and
-  the query context survive, because they never depend on objects,
+  the query context survive, because they never depend on objects. For
+  tree indexes the kNN/range invalidation is further **leaf-scoped**:
+  each cached entry is tagged with the conservative set of leaves that
+  could contribute to its answer (the bound-ball closure), and an
+  update drops only the entries tagged with the leaf(s) it touched —
+  see :mod:`repro.engine.invalidation`,
 * ``stats()`` — a monotone snapshot of query counts, update counts and
   cache hit/miss counters.
 
@@ -68,7 +73,7 @@ from ..baselines.distmx import DistanceMatrix, DistMxObjects
 from ..baselines.oracle import DijkstraOracle
 from ..core.context import QueryContext, endpoint_key
 from ..core.objects_index import ObjectIndex
-from ..core.results import Neighbor, PathResult
+from ..core.results import Neighbor, PathResult, QueryStats
 from ..core.tree import IPTree
 from ..exceptions import QueryError
 from ..kernels import resolve_kernels
@@ -77,6 +82,7 @@ from ..model.objects import UpdateOp
 from ..obs.registry import counter_entry, gauge_entry
 from ..obs.stats import StatsDoc
 from .cache import LRUCache
+from .invalidation import TaggedLRUCache
 from .locking import NULL_LOCK, NULL_RWLOCK, RWLock
 
 _MISSING = object()
@@ -102,12 +108,22 @@ class EngineStats(StatsDoc):
     * ``updates`` — object-update operations applied through
       ``update``/``batch_update``/``insert_object``/``delete_object``/
       ``move_object``. Zero for engines that never mutate objects.
-    * ``invalidations`` — object-cache invalidation *events* (each event
-      flushes every kNN and range cache entry at once). One per single
-      ``update``, one per ``batch_update`` call (that is the batch
-      amortization), and one per stale-version detection when the
-      object set was mutated behind the engine's back. Stays zero when
-      ``cache=False`` (there is nothing to flush).
+    * ``scoped_invalidations`` / ``full_invalidations`` — object-cache
+      invalidation *events*, split by scope. A **scoped** event drops
+      only the kNN/range entries tagged with the leaf(s) the update
+      touched (tree engines with ``invalidation="scoped"``, the
+      default); a **full** event flushes both caches entirely (baseline
+      engines, ``invalidation="full"``, and every out-of-band
+      stale-version detection). One event per single ``update``, one
+      per ``batch_update`` call (that is the batch amortization), one
+      per stale-version detection. Both stay zero when ``cache=False``
+      (there is nothing to flush). The legacy ``invalidations``
+      property — and the ``"invalidations"`` key in :meth:`to_doc` —
+      is their sum.
+    * ``invalidation_entries_dropped`` — cached kNN/range *entries*
+      removed by invalidation events (scoped and full alike). The gap
+      between this and cache occupancy over time is exactly what
+      leaf-scoped invalidation saves.
     * ``distance_hits``/``distance_misses`` … ``range_hits``/
       ``range_misses`` — hit/miss pairs of the four engine-level LRU
       result caches. Invalidation does **not** reset them; a query after
@@ -125,7 +141,9 @@ class EngineStats(StatsDoc):
     range_queries: int = 0
     #: dynamic object updates
     updates: int = 0
-    invalidations: int = 0
+    scoped_invalidations: int = 0
+    full_invalidations: int = 0
+    invalidation_entries_dropped: int = 0
     #: engine-level LRU result caches
     distance_hits: int = 0
     distance_misses: int = 0
@@ -142,6 +160,12 @@ class EngineStats(StatsDoc):
     climb_misses: int = 0
     search_hits: int = 0
     search_misses: int = 0
+
+    @property
+    def invalidations(self) -> int:
+        """Total invalidation events (scoped + full) — the pre-split
+        counter, kept so existing callers and dashboards keep working."""
+        return self.scoped_invalidations + self.full_invalidations
 
     @property
     def queries(self) -> int:
@@ -178,6 +202,15 @@ class EngineStats(StatsDoc):
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    def to_doc(self) -> dict:
+        # explicit base call: dataclass(slots=True) recreates the class,
+        # so zero-arg super() would hold a stale __class__ cell
+        doc = StatsDoc.to_doc(self)
+        # pre-split wire compatibility: consumers of the stats document
+        # keep seeing the total event count under the old key
+        doc["invalidations"] = self.invalidations
+        return doc
+
 
 def _sym_key(ka: tuple, kb: tuple) -> tuple:
     """Order-independent pair key (indoor distance is symmetric)."""
@@ -191,6 +224,8 @@ def _collect_engine_stats(engine: "QueryEngine"):
     s = engine.stats()
     for f in fields(s):
         yield counter_entry(f"engine_{f.name}_total", getattr(s, f.name))
+    # the pre-split series stays exported as the sum of the two scopes
+    yield counter_entry("engine_invalidations_total", s.invalidations)
     samples = s.hits + s.misses
     yield gauge_entry("engine_cache_hit_ratio", s.hit_rate, agg="mean",
                       n=max(samples, 1))
@@ -228,6 +263,18 @@ class QueryEngine:
             kNN/range queries, a mutex guarding caches/counters, and
             per-thread query contexts). ``False`` — the default — keeps
             the single-threaded fast path entirely lock-free.
+        invalidation: update-driven kNN/range cache invalidation
+            strategy. ``"scoped"`` (default) tags every cached entry
+            with its conservative bound-ball leaf closure and drops
+            only the entries tagged with the leaf(s) an update touches
+            (tree indexes; cross-leaf moves touch two, out-of-band
+            version jumps still fall back to a full flush).
+            ``"full"`` restores the old behaviour — every update
+            flushes both caches — and is the baseline
+            ``benchmarks/bench_invalidation.py`` measures against.
+            Non-tree indexes always behave as ``"full"`` (their cached
+            answers carry no leaf structure). Answers are identical
+            either way; only cache retention changes.
         kernels: query-kernel backend for tree indexes —
             ``"auto"`` (default: numpy when importable, else the python
             reference), ``"numpy"``, ``"python"``, or a backend
@@ -256,11 +303,17 @@ class QueryEngine:
         result_cache_size: int = 8192,
         context_cache_size: int = 16384,
         thread_safe: bool = False,
+        invalidation: str = "scoped",
         kernels="auto",
         registry=None,
     ) -> None:
         self.index = index
         self._is_tree = isinstance(index, IPTree)
+        if invalidation not in ("scoped", "full"):
+            raise QueryError(
+                f"invalidation must be 'scoped' or 'full', got {invalidation!r}"
+            )
+        self.invalidation = invalidation
         self.kernels = resolve_kernels(kernels) if self._is_tree else None
         self.registry = registry
         if registry is not None:
@@ -269,6 +322,7 @@ class QueryEngine:
                 for kind in ("distance", "path", "knn", "range")
             }
             self._update_timer = registry.histogram("engine_update_seconds")
+            self._inval_timer = registry.histogram("engine_invalidation_seconds")
             if not self._is_tree:
                 backend = "none"
             elif self.kernels is None:
@@ -282,6 +336,7 @@ class QueryEngine:
         else:
             self._query_timers = None
             self._update_timer = None
+            self._inval_timer = None
             self._kernel_counter = None
         self.cache_enabled = bool(cache)
         self._context_cache_size = context_cache_size
@@ -306,11 +361,16 @@ class QueryEngine:
             self._lock = NULL_RWLOCK
             self._mutex = NULL_LOCK
             self._ctx = self._new_ctx() if self._ctx_enabled else None
+        #: leaf-scoped invalidation needs leaf tags, which only tree
+        #: answers carry; baselines always flush fully
+        self._scoped_enabled = (
+            self.cache_enabled and self._is_tree and invalidation == "scoped"
+        )
         if self.cache_enabled:
             self._dist_cache = LRUCache(distance_cache_size)
             self._path_cache = LRUCache(result_cache_size)
-            self._knn_cache = LRUCache(result_cache_size)
-            self._range_cache = LRUCache(result_cache_size)
+            self._knn_cache = TaggedLRUCache(result_cache_size)
+            self._range_cache = TaggedLRUCache(result_cache_size)
         else:
             self._dist_cache = None
             self._path_cache = None
@@ -318,7 +378,9 @@ class QueryEngine:
             self._range_cache = None
         self._counts = {"distance": 0, "path": 0, "knn": 0, "range": 0}
         self._updates = 0
-        self._invalidations = 0
+        self._scoped_invalidations = 0
+        self._full_invalidations = 0
+        self._inval_dropped = 0
 
         # Wire the object set into whatever the index understands.
         self.object_index: ObjectIndex | None = None
@@ -585,7 +647,10 @@ class QueryEngine:
         Tree engines update their :class:`ObjectIndex` in place (leaf
         lists, sorted access lists and subtree counts, paper §3.4);
         baseline engines mutate the object set and re-attach it. Either
-        way the kNN/range result caches are invalidated once.
+        way the kNN/range result caches see exactly one invalidation
+        event — leaf-scoped for tree engines (only the entries tagged
+        with the touched leaf(s) drop; a cross-leaf move touches two),
+        a full flush otherwise.
 
         Thread safety: takes the engine's write lock — no kNN/range
         query observes a half-applied update, and no update runs while
@@ -594,10 +659,16 @@ class QueryEngine:
         timer = self._update_timer
         start = perf_counter() if timer is not None else 0.0
         with self._lock.write():
-            result = self._apply_update(op)
+            if self._scoped_enabled:
+                result, leaves = self._apply_update_scoped(op)
+            else:
+                result, leaves = self._apply_update(op), None
             with self._mutex:
                 self._updates += 1
-                self._invalidate_object_caches_locked()
+                istart = perf_counter()
+                self._invalidate_object_caches_locked(leaves)
+                idur = perf_counter() - istart
+        self._observe_invalidation(idur)
         if timer is not None:
             timer.observe(perf_counter() - start)
         return result
@@ -615,12 +686,30 @@ class QueryEngine:
         """
         timer = self._update_timer
         start = perf_counter() if timer is not None else 0.0
+        idur = 0.0
         with self._lock.write():
-            results = [self._apply_update(op) for op in ops]
+            if self._scoped_enabled:
+                # one scoped event over the union of touched leaves;
+                # any op without a leaf attribution poisons to a full
+                # flush (None), matching QueryStats.merge semantics
+                results = []
+                leaves: frozenset | None = frozenset()
+                for op in ops:
+                    result, op_leaves = self._apply_update_scoped(op)
+                    results.append(result)
+                    if leaves is not None:
+                        leaves = None if op_leaves is None else leaves | op_leaves
+            else:
+                results = [self._apply_update(op) for op in ops]
+                leaves = None
             with self._mutex:
                 self._updates += len(results)
                 if results:
-                    self._invalidate_object_caches_locked()
+                    istart = perf_counter()
+                    self._invalidate_object_caches_locked(leaves)
+                    idur = perf_counter() - istart
+        if results:
+            self._observe_invalidation(idur)
         if timer is not None:
             timer.observe(perf_counter() - start)
         return results
@@ -632,13 +721,54 @@ class QueryEngine:
             return self.object_index.apply(op)
         return self.objects.apply(op)
 
-    def _invalidate_object_caches_locked(self) -> None:
-        """Flush kNN/range caches and re-wire baseline object structures.
+    def _apply_update_scoped(self, op: UpdateOp):
+        """Apply ``op`` and attribute it to the leaf(s) whose object
+        population changed: ``(result, leaves)`` with ``leaves`` a
+        frozenset of leaf ids, or ``None`` when the op cannot be
+        attributed (the caller then falls back to a full flush).
+
+        Deletes and moves read the *pre-apply* leaf (the object may
+        leave it); inserts and moves read the post-apply leaf. A
+        same-leaf move therefore attributes to exactly one leaf, a
+        cross-leaf move to two.
+        """
+        oi = self.object_index
+        if oi is None:
+            return self._apply_update(op), None
+        before = None
+        if op.kind in ("delete", "move") and op.object_id is not None:
+            try:
+                before = oi.leaf_of_object(op.object_id)
+            except QueryError:
+                before = None  # unknown id: let apply() raise its error
+        result = self._apply_update(op)
+        if op.kind == "insert":
+            leaves = {oi.leaf_of_object(result)}
+        elif op.kind == "delete":
+            leaves = {before}
+        elif op.kind == "move":
+            leaves = {before, oi.leaf_of_object(op.object_id)}
+        else:  # pragma: no cover - apply() rejects unknown kinds
+            return result, None
+        if None in leaves:
+            return result, None
+        return result, frozenset(leaves)
+
+    def _invalidate_object_caches_locked(self, leaves: frozenset | None = None) -> None:
+        """Invalidate the kNN/range caches for one update event and
+        re-wire baseline object structures.
+
+        ``leaves`` carries the update's leaf attribution: a frozenset
+        drops only the entries tagged with (at least) one of those
+        leaves — plus ALL-tagged entries, whose dependency set is
+        unbounded — while ``None`` flushes both caches entirely (the
+        baseline path, ``invalidation="full"``, and out-of-band version
+        jumps).
 
         Caller holds the mutex (trivially true single-threaded).
-        Counters are untouched — they are lifetime totals; only the
-        cached entries (and the engine's notion of the current object
-        version) change.
+        Hit/miss/eviction counters are untouched — they are lifetime
+        totals; only the cached entries, the invalidation counters and
+        the engine's notion of the current object version change.
         """
         self._objects_version = self.objects.version if self.objects is not None else 0
         if self._mx_objects is not None:
@@ -646,9 +776,23 @@ class QueryEngine:
         elif not self._is_tree and hasattr(self.index, "attach_objects"):
             self.index.attach_objects(self.objects)
         if self._knn_cache is not None:
-            self._knn_cache.clear()
-            self._range_cache.clear()
-            self._invalidations += 1
+            if leaves is not None and self._scoped_enabled:
+                dropped = self._knn_cache.invalidate_leaves(leaves)
+                dropped += self._range_cache.invalidate_leaves(leaves)
+                self._scoped_invalidations += 1
+            else:
+                dropped = self._knn_cache.invalidate_all()
+                dropped += self._range_cache.invalidate_all()
+                self._full_invalidations += 1
+            self._inval_dropped += dropped
+
+    def _observe_invalidation(self, seconds: float) -> None:
+        """Record one invalidation event's duration — outside the engine
+        mutex, because the registry's collector path takes the mutex via
+        :meth:`stats` while holding its own lock."""
+        timer = self._inval_timer
+        if timer is not None and self._knn_cache is not None:
+            timer.observe(seconds)
 
     def _check_object_version(self) -> None:
         """Lazily catch object mutations made behind the engine's back
@@ -656,11 +800,18 @@ class QueryEngine:
         cached object-dependent result."""
         if self.objects is None or self.objects.version == self._objects_version:
             return
+        idur = None
         with self._mutex:
             # double-checked so concurrent readers racing on the same
-            # stale version produce exactly one invalidation event
+            # stale version produce exactly one invalidation event; the
+            # out-of-band mutation carries no leaf attribution, so this
+            # is always a full flush
             if self.objects.version != self._objects_version:
+                istart = perf_counter()
                 self._invalidate_object_caches_locked()
+                idur = perf_counter() - istart
+        if idur is not None:
+            self._observe_invalidation(idur)
 
     def _new_ctx(self) -> QueryContext:
         return QueryContext(
@@ -768,18 +919,30 @@ class QueryEngine:
                 if stats is not None:
                     stats.cache_hit = True
                 return list(hit)
-            res = self._raw_knn(query, k, ctx, stats)
-            with self._mutex:
-                cache[key] = tuple(res)
+            if self._scoped_enabled:
+                # private stats capture the answer's bound-ball leaf
+                # closure; the entry is tagged with it so updates to
+                # other leaves leave it cached (None = tag ALL)
+                qstats = QueryStats()
+                res = self._raw_knn(query, k, ctx, qstats, collect_leaves=True)
+                if stats is not None:
+                    stats.merge(qstats)
+                with self._mutex:
+                    cache.put(key, tuple(res), qstats.result_leaves)
+            else:
+                res = self._raw_knn(query, k, ctx, stats)
+                with self._mutex:
+                    cache[key] = tuple(res)
             return res
 
-    def _raw_knn(self, query, k: int, ctx, stats=None) -> list[Neighbor]:
+    def _raw_knn(self, query, k: int, ctx, stats=None,
+                 collect_leaves: bool = False) -> list[Neighbor]:
         index = self.index
         if self._is_tree:
             if self.object_index is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")
             return index.knn(self.object_index, query, k, ctx, kernels=self.kernels,
-                             stats=stats)
+                             stats=stats, collect_leaves=collect_leaves)
         if isinstance(index, DijkstraOracle):
             if self.objects is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")
@@ -809,18 +972,29 @@ class QueryEngine:
                 if stats is not None:
                     stats.cache_hit = True
                 return list(hit)
-            res = self._raw_range(query, radius, ctx, stats)
-            with self._mutex:
-                cache[key] = tuple(res)
+            if self._scoped_enabled:
+                # see _knn: tag the entry with its radius-ball closure
+                qstats = QueryStats()
+                res = self._raw_range(query, radius, ctx, qstats,
+                                      collect_leaves=True)
+                if stats is not None:
+                    stats.merge(qstats)
+                with self._mutex:
+                    cache.put(key, tuple(res), qstats.result_leaves)
+            else:
+                res = self._raw_range(query, radius, ctx, stats)
+                with self._mutex:
+                    cache[key] = tuple(res)
             return res
 
-    def _raw_range(self, query, radius: float, ctx, stats=None) -> list[Neighbor]:
+    def _raw_range(self, query, radius: float, ctx, stats=None,
+                   collect_leaves: bool = False) -> list[Neighbor]:
         index = self.index
         if self._is_tree:
             if self.object_index is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")
             return index.range_query(self.object_index, query, radius, ctx, kernels=self.kernels,
-                                     stats=stats)
+                                     stats=stats, collect_leaves=collect_leaves)
         if isinstance(index, DijkstraOracle):
             if self.objects is None:
                 raise QueryError("engine has no object set; pass objects= to QueryEngine")
@@ -856,7 +1030,9 @@ class QueryEngine:
                 knn_queries=self._counts["knn"],
                 range_queries=self._counts["range"],
                 updates=self._updates,
-                invalidations=self._invalidations,
+                scoped_invalidations=self._scoped_invalidations,
+                full_invalidations=self._full_invalidations,
+                invalidation_entries_dropped=self._inval_dropped,
             )
             if self._dist_cache is not None:
                 s.distance_hits = self._dist_cache.hits

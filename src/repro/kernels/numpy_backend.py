@@ -71,6 +71,10 @@ class NumpyKernels:
         self._eg_ent_index = None
         self._eg_ent_version = -1
         self._eg_ent = None
+        # leaf segments over the slot vector: (leaf_ids_i64,
+        # flat_slot_idx, reduceat_starts) — the vectorized bound-ball
+        # closure (leaf mindist mask) reads these
+        self._eg_leaf_seg = None
 
     # ------------------------------------------------------------------
     # Lemmas 8/9: child expansion
@@ -200,6 +204,19 @@ class NumpyKernels:
                 if not node.is_leaf:
                     nxt.extend(node.children)
             frontier = nxt
+        leaf_l: list[int] = []
+        lstarts: list[int] = []
+        lslots: list[int] = []
+        for nid, ad in doors.items():
+            if tree.nodes[nid].is_leaf and ad:
+                lstarts.append(len(lslots))
+                leaf_l.append(nid)
+                lslots.extend(range(slots[nid], slots[nid] + len(ad)))
+        self._eg_leaf_seg = (
+            np.asarray(leaf_l, dtype=np.int64),
+            np.asarray(lslots, dtype=_INTP),
+            np.asarray(lstarts, dtype=_INTP),
+        )
         self._eg_slots = slots
         self._eg_doors = doors
         self._eg_nslots = base
@@ -325,9 +342,11 @@ class NumpyKernels:
         return self._eg_ent
 
     def _eager_distances(self, search):
-        """Exact distance to every object as ``(distances, object_ids)``
-        arrays; the query leaf goes through the reference Dijkstra
-        branch, everything else through the propagation program."""
+        """Exact distance to every object as ``(distances, object_ids,
+        slot_vals)`` arrays; the query leaf goes through the reference
+        Dijkstra branch, everything else through the propagation
+        program. ``slot_vals`` is the propagated per-(node, door)
+        distance vector — the leaf-ball closure reads it."""
         tree = search.tree
         index = search.index
         self._eager_tree_state(tree)
@@ -371,7 +390,26 @@ class NumpyKernels:
             oids = np.concatenate([uniq, np.asarray(extra_o, dtype=np.int64)])
         else:
             oids = uniq
-        return dists, oids
+        return dists, oids, vals
+
+    def _eager_leaf_ball(self, search, vals, bound: float) -> frozenset:
+        """Vectorized bound-ball leaf closure: leaves whose minimum
+        access-door distance in the propagated slot vector is
+        ``<= bound``, plus the query leaf (mindist 0 by containment).
+
+        Same contract as :func:`repro.core.query_knn.contributing_leaves`
+        and deliberately independent of the access-list *candidate* mask:
+        a leaf that is empty today but inside the ball must still tag the
+        cached answer, because an insert there could change it.
+        """
+        leaf_ids, slot_idx, starts = self._eg_leaf_seg
+        leaves = {search.leaf_q}
+        if leaf_ids.size:
+            mind = np.minimum.reduceat(vals[slot_idx], starts)
+            leaves.update(
+                int(lid) for lid in leaf_ids[mind <= bound].tolist()
+            )
+        return frozenset(leaves)
 
     def knn_full(self, search, k: int):
         """Whole-query kNN: the k lexicographically smallest
@@ -381,10 +419,16 @@ class NumpyKernels:
         Stats are reported in aggregate (all nodes propagated, all list
         entries combined); ``heap_pops`` stays 0 on this path.
         """
-        dists, oids = self._eager_distances(search)
-        if not dists.size:
-            return []
-        order = np.lexsort((oids, dists))[:k]
+        dists, oids, vals = self._eager_distances(search)
+        order = np.lexsort((oids, dists))[:k] if dists.size else np.empty(0, _INTP)
+        if search.collect_leaves:
+            # Fewer than k results: the effective kth-distance bound is
+            # infinite, so the answer depends on every leaf (None tag).
+            search.stats.result_leaves = (
+                self._eager_leaf_ball(search, vals, float(dists[order[-1]]))
+                if order.size >= k
+                else None
+            )
         return [
             Neighbor(object_id=int(oids[i]), distance=float(dists[i]))
             for i in order.tolist()
@@ -393,7 +437,13 @@ class NumpyKernels:
     def range_full(self, search, radius: float):
         """Whole-query range: every object with distance <= radius,
         sorted by ``(distance, object_id)`` like the reference."""
-        dists, oids = self._eager_distances(search)
+        dists, oids, vals = self._eager_distances(search)
+        if search.collect_leaves:
+            # The radius bound holds even for an empty answer: an insert
+            # inside the ball could make the next answer non-empty.
+            search.stats.result_leaves = self._eager_leaf_ball(
+                search, vals, radius
+            )
         if not dists.size:
             return []
         sel = np.flatnonzero(dists <= radius)

@@ -196,6 +196,8 @@ def _admission_from_args(args) -> AdmissionController | None:
         rate=args.admission_rate if args.admission_rate > 0.0 else None,
         burst=args.admission_burst if args.admission_burst > 0.0 else None,
         max_queue_depth=args.shed_depth if args.shed_depth > 0 else None,
+        idle_timeout=(args.admission_idle_timeout
+                      if args.admission_idle_timeout > 0.0 else None),
     )
 
 
@@ -313,6 +315,13 @@ def main(argv=None) -> int:
                        help="per-venue bound on concurrently in-flight "
                             "requests; venues piling up beyond it are shed "
                             "(0: disabled)")
+    serve.add_argument("--admission-idle-timeout", type=float,
+                       default=3600.0, metavar="SECONDS",
+                       help="evict a venue's admission state (bucket, "
+                            "depth slot, counters) after this long with no "
+                            "activity and nothing in flight, so venue churn "
+                            "cannot grow the controller unboundedly "
+                            "(0: keep every venue forever)")
     serve.add_argument("--flush-interval", type=float, default=30.0,
                        help="per-shard background flush period in seconds "
                             "(with the oplog: bounds log length; without: "

@@ -26,6 +26,13 @@ mutually exclusive — a hypothesis-tested invariant), and admitted
 requests must be :meth:`~AdmissionController.release`-d exactly once
 when their work settles (the cluster wires this to the request future).
 
+Per-venue state is bounded: with ``idle_timeout`` set, venues with no
+admit/release activity past that horizon (and nothing in flight) are
+evicted by an amortized sweep piggy-backed on ``admit``, so a
+venue-churn workload — many fingerprints seen once — cannot grow the
+state dict without bound. A returning venue simply starts fresh (full
+bucket, zeroed counters).
+
 Observability: given a ``registry``, the controller exports
 ``admission_admitted_total{venue=...}``,
 ``admission_rejected_total{venue=..., reason=rate|depth}`` and an
@@ -122,14 +129,16 @@ class AdmissionStats:
 
 class _VenueState:
     __slots__ = ("bucket", "depth", "admitted", "rejected_rate",
-                 "rejected_depth")
+                 "rejected_depth", "last_seen")
 
-    def __init__(self, bucket: TokenBucket | None) -> None:
+    def __init__(self, bucket: TokenBucket | None, *, now: float) -> None:
         self.bucket = bucket
         self.depth = 0
         self.admitted = 0
         self.rejected_rate = 0
         self.rejected_depth = 0
+        #: last admit/release activity — the idle-eviction clock
+        self.last_seen = now
 
 
 class AdmissionController:
@@ -144,6 +153,11 @@ class AdmissionController:
             admitting a flood.
         max_queue_depth: per-venue bound on concurrently in-flight
             admitted requests; ``None`` disables depth shedding.
+        idle_timeout: evict a venue's bucket/depth/counters after this
+            many seconds with no admit/release activity and nothing in
+            flight (sweep amortized onto ``admit``, at most once per
+            quarter horizon). ``None`` (default) keeps every venue
+            forever — the pre-eviction behaviour.
         registry: optional :class:`~repro.obs.MetricsRegistry` the
             admission counters and depth gauges are exported through.
         clock: monotonic time source (injectable for tests).
@@ -159,6 +173,7 @@ class AdmissionController:
         rate: float | None = None,
         burst: float | None = None,
         max_queue_depth: int | None = None,
+        idle_timeout: float | None = None,
         registry: MetricsRegistry | None = None,
         clock=time.monotonic,
     ) -> None:
@@ -183,21 +198,50 @@ class AdmissionController:
         self.max_queue_depth = (
             None if max_queue_depth is None else int(max_queue_depth)
         )
+        if idle_timeout is not None and idle_timeout <= 0.0:
+            raise ValueError(f"idle_timeout must be > 0, got {idle_timeout}")
+        self.idle_timeout = None if idle_timeout is None else float(idle_timeout)
         self.registry = registry
         self._clock = clock
         self._mutex = threading.Lock()
         self._venues: dict[str, _VenueState] = {}
+        self._next_sweep = (
+            clock() + self.idle_timeout / 4.0
+            if self.idle_timeout is not None else 0.0
+        )
 
     # ------------------------------------------------------------------
-    def _state(self, venue: str) -> _VenueState:
+    def _state(self, venue: str, now: float) -> _VenueState:
         state = self._venues.get(venue)
         if state is None:
             bucket = (
-                TokenBucket(self.rate, self.burst, now=self._clock())
+                TokenBucket(self.rate, self.burst, now=now)
                 if self.rate is not None else None
             )
-            state = self._venues[venue] = _VenueState(bucket)
+            state = self._venues[venue] = _VenueState(bucket, now=now)
         return state
+
+    def _sweep_idle_locked(self, now: float) -> int:
+        """Evict venues idle past the horizon with nothing in flight.
+        In-flight venues (``depth > 0``) are never evicted — their
+        release obligation must keep finding the state."""
+        horizon = now - self.idle_timeout
+        victims = [
+            venue for venue, state in self._venues.items()
+            if state.depth == 0 and state.last_seen <= horizon
+        ]
+        for venue in victims:
+            del self._venues[venue]
+        self._next_sweep = now + self.idle_timeout / 4.0
+        return len(victims)
+
+    def evict_idle(self) -> int:
+        """Run one idle sweep now; returns the number of venues
+        evicted (0 when ``idle_timeout`` is unset)."""
+        if self.idle_timeout is None:
+            return 0
+        with self._mutex:
+            return self._sweep_idle_locked(self._clock())
 
     def _label(self, venue: str) -> str:
         return venue[:_LABEL_CHARS]
@@ -227,7 +271,11 @@ class AdmissionController:
         and the depth exactly as they were.
         """
         with self._mutex:
-            state = self._state(venue)
+            now = self._clock()
+            if self.idle_timeout is not None and now >= self._next_sweep:
+                self._sweep_idle_locked(now)
+            state = self._state(venue, now)
+            state.last_seen = now
             if (self.max_queue_depth is not None
                     and state.depth >= self.max_queue_depth):
                 state.rejected_depth += 1
@@ -238,7 +286,7 @@ class AdmissionController:
                     f"requests already in flight (bound {self.max_queue_depth})"
                 )
             if state.bucket is not None:
-                retry_after = state.bucket.try_acquire(self._clock())
+                retry_after = state.bucket.try_acquire(now)
                 if retry_after > 0.0:
                     state.rejected_rate += 1
                     self._count_rejection(venue, "rate")
@@ -266,6 +314,7 @@ class AdmissionController:
                     f"{self._label(venue)!r}"
                 )
             state.depth -= 1
+            state.last_seen = self._clock()
             depth = state.depth
         self._observe_depth(venue, depth)
 
@@ -299,5 +348,5 @@ class AdmissionController:
         return (
             f"AdmissionController(rate={self.rate}, burst={self.burst}, "
             f"max_queue_depth={self.max_queue_depth}, "
-            f"venues={len(self._venues)})"
+            f"idle_timeout={self.idle_timeout}, venues={len(self._venues)})"
         )

@@ -286,3 +286,93 @@ def test_stats_by_venue_round_trips():
         "admitted": 1, "rejected_rate": 0, "rejected_depth": 1,
         "rejected": 1, "in_flight": 1,
     }
+
+
+# ----------------------------------------------------------------------
+# Idle eviction: venue churn must not grow the controller unboundedly
+# ----------------------------------------------------------------------
+class TestIdleEviction:
+    def _venue_count(self, controller) -> int:
+        return len(controller._venues)
+
+    def test_idle_venues_evicted_past_horizon(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=10.0, max_queue_depth=4, idle_timeout=60.0, clock=clock,
+        )
+        for i in range(50):
+            venue = f"venue-{i:04d}"
+            controller.admit(venue)
+            controller.release(venue)
+            clock.advance(1.0)
+        # 50 venues seen over 50s; none idle past 60s yet
+        assert self._venue_count(controller) == 50
+        clock.advance(120.0)
+        # activity on one venue triggers the amortized sweep and
+        # evicts everything idle past the horizon
+        controller.admit("fresh")
+        controller.release("fresh")
+        assert self._venue_count(controller) == 1
+        assert controller.depth("venue-0000") == 0  # unseen again: zeros
+
+    def test_in_flight_venues_survive_eviction(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_queue_depth=4, idle_timeout=10.0, clock=clock,
+        )
+        controller.admit("busy")       # stays in flight across the horizon
+        controller.admit("quiet")
+        controller.release("quiet")
+        clock.advance(1000.0)
+        assert controller.evict_idle() == 1  # only "quiet" goes
+        assert self._venue_count(controller) == 1
+        controller.release("busy")     # release obligation still honoured
+        assert controller.depth("busy") == 0
+
+    def test_evicted_venue_restarts_with_full_bucket(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            rate=1.0, burst=2.0, idle_timeout=5.0, clock=clock,
+        )
+        controller.admit("v")
+        controller.admit("v")  # bucket drained
+        with pytest.raises(OverloadedError):
+            controller.admit("v")
+        controller.release("v")
+        controller.release("v")
+        clock.advance(100.0)
+        assert controller.evict_idle() == 1
+        # fresh state: the full burst is available again immediately
+        controller.admit("v")
+        controller.admit("v")
+
+    def test_sweep_is_amortized_not_per_admit(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_queue_depth=4, idle_timeout=100.0, clock=clock,
+        )
+        controller.admit("old")
+        controller.release("old")
+        clock.advance(150.0)  # "old" is now idle past the horizon
+        controller.admit("a")  # first admit past _next_sweep: sweeps
+        assert "old" not in controller._venues
+        next_sweep = controller._next_sweep
+        controller.admit("b")  # within the sweep window: no new sweep
+        assert controller._next_sweep == next_sweep
+
+    def test_no_timeout_keeps_every_venue(self):
+        clock = FakeClock()
+        controller = AdmissionController(max_queue_depth=1, clock=clock)
+        for i in range(20):
+            venue = f"venue-{i}"
+            controller.admit(venue)
+            controller.release(venue)
+            clock.advance(10_000.0)
+        assert controller.evict_idle() == 0
+        assert self._venue_count(controller) == 20
+
+    def test_invalid_idle_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=1, idle_timeout=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=1, idle_timeout=-5.0)

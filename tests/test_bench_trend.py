@@ -1,0 +1,84 @@
+"""``tools/bench_trend.py`` merges BENCH_*.json artifacts faithfully.
+
+The trend tool is what CI (and humans pulling artifacts) rely on to
+fold per-job benchmark documents into one ``BENCH_summary.json`` —
+these tests pin the merge semantics: recursive discovery, whole-doc
+retention, headline extraction, and graceful handling of junk inputs.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+from bench_trend import SUMMARY_NAME, collect, headline, main, merge  # noqa: E402
+
+
+def _write(path: Path, doc) -> Path:
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def test_collect_is_recursive_and_skips_summary(tmp_path):
+    a = _write(tmp_path / "BENCH_kernels.json", {"bench": "kernels", "rows": []})
+    sub = tmp_path / "artifact-dir"
+    sub.mkdir()
+    b = _write(sub / "BENCH_invalidation.json",
+               {"bench": "invalidation", "rows": []})
+    _write(tmp_path / SUMMARY_NAME, {"summary": "bench-trend"})
+    _write(tmp_path / "notes.json", {"bench": "ignored-wrong-name"})
+    assert collect(tmp_path) == sorted([a, b])
+
+
+def test_headline_lifts_factor_fields():
+    doc = {"bench": "invalidation", "rows": [
+        {"mode": "full", "hits": 0},
+        {"mode": "scoped", "hits": 176, "hit_factor_vs_full": 177.0,
+         "throughput_factor_vs_full": 1.2},
+    ]}
+    h = headline(doc)
+    assert h == {"rows": 2, "hit_factor_vs_full": 177.0,
+                 "throughput_factor_vs_full": 1.2}
+
+
+def test_merge_keeps_whole_docs_and_reports_junk(tmp_path):
+    kern = {"bench": "kernels", "schema": 1,
+            "rows": [{"kernel": "numpy", "speedup": 4.5}]}
+    _write(tmp_path / "BENCH_kernels.json", kern)
+    (tmp_path / "BENCH_broken.json").write_text("{not json")
+    _write(tmp_path / "BENCH_nameless.json", {"rows": []})
+
+    summary = merge(collect(tmp_path))
+    assert summary["schema"] == 1
+    assert summary["benches"]["kernels"]["doc"] == kern
+    assert summary["benches"]["kernels"]["headline"]["speedup"] == 4.5
+    reasons = {Path(s["file"]).name: s["reason"] for s in summary["skipped"]}
+    assert set(reasons) == {"BENCH_broken.json", "BENCH_nameless.json"}
+
+
+def test_duplicate_bench_names_keep_last(tmp_path):
+    _write(tmp_path / "BENCH_a.json", {"bench": "same", "rows": [], "v": 1})
+    _write(tmp_path / "BENCH_b.json", {"bench": "same", "rows": [], "v": 2})
+    summary = merge(collect(tmp_path))
+    assert summary["benches"]["same"]["doc"]["v"] == 2
+    assert len(summary["skipped"]) == 1
+
+
+def test_cli_writes_summary(tmp_path, capsys):
+    _write(tmp_path / "BENCH_invalidation.json",
+           {"bench": "invalidation", "schema": 1,
+            "rows": [{"mode": "scoped", "hit_factor_vs_full": 12.0}]})
+    out = tmp_path / SUMMARY_NAME
+    assert main(["--dir", str(tmp_path), "--out", str(out)]) == 0
+    summary = json.loads(out.read_text())
+    assert list(summary["benches"]) == ["invalidation"]
+    assert "invalidation" in capsys.readouterr().out
+
+
+def test_cli_on_empty_directory_still_writes(tmp_path):
+    out = tmp_path / SUMMARY_NAME
+    assert main(["--dir", str(tmp_path), "--out", str(out)]) == 0
+    summary = json.loads(out.read_text())
+    assert summary["benches"] == {} and summary["skipped"] == []

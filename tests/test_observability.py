@@ -356,6 +356,31 @@ class TestEngineInstrumentation:
                   if e["name"] == "engine_kernel_queries_total"]
         assert kernel and kernel[0]["value"] == 2
 
+    def test_collector_exports_invalidation_split(self, venue):
+        """The scoped/full invalidation split is exported alongside the
+        legacy total, and the total is exactly their sum."""
+        space, tree, objects = venue
+        reg = MetricsRegistry()
+        engine = QueryEngine(tree, objects, cache=True, registry=reg)
+        rng = random.Random(9)
+        q = random_point(space, rng)
+        engine.knn(q, 2)
+        engine.insert_object(random_point(space, rng))  # scoped event
+        engine.object_index.insert(random_point(space, rng))  # out-of-band
+        engine.knn(q, 2)  # version check -> full-flush event
+        snap = reg.snapshot()
+        counters = {e["name"]: e["value"] for e in snap["counters"].values()}
+        assert counters["engine_scoped_invalidations_total"] == 1
+        assert counters["engine_full_invalidations_total"] == 1
+        assert counters["engine_invalidations_total"] == (
+            counters["engine_scoped_invalidations_total"]
+            + counters["engine_full_invalidations_total"]
+        )
+        assert counters["engine_invalidation_entries_dropped_total"] >= 1
+        hist = snap["histograms"][
+            metric_key("engine_invalidation_seconds", {})]
+        assert hist["count"] == 2  # one scoped + one full event observed
+
     def test_dead_engine_series_retire(self, venue):
         import gc
 

@@ -1,0 +1,113 @@
+"""Merge per-benchmark ``BENCH_*.json`` artifacts into one summary.
+
+Every benchmark under ``benchmarks/`` writes a machine-readable
+``BENCH_<name>.json`` document (``{"bench": <name>, "schema": 1, ...,
+"rows": [...]}``). CI uploads them as separate artifacts per job, which
+makes cross-bench trend tracking awkward — this tool collects whatever
+artifacts are present and folds them into a single
+``BENCH_summary.json``::
+
+    PYTHONPATH=src python tools/bench_trend.py                # cwd
+    PYTHONPATH=src python tools/bench_trend.py --dir artifacts --out BENCH_summary.json
+
+The summary keeps each source document whole under ``benches[<name>]``
+(so nothing is lost by the merge) and lifts a small ``headline`` map of
+the scalar figures worth eyeballing across runs — any row field that
+looks like a comparison factor (``speedup``, ``*_factor*``) plus each
+bench's row count. Missing benchmarks are fine: the summary records
+only what was found, so a partial artifact set still merges cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: the merged document's own name — never re-ingested as an input
+SUMMARY_NAME = "BENCH_summary.json"
+
+#: row fields lifted into the per-bench headline (max across rows)
+FACTOR_KEYS = ("speedup", "hit_factor_vs_full", "throughput_factor_vs_full")
+
+
+def collect(directory: Path) -> list[Path]:
+    """Every ``BENCH_*.json`` in ``directory`` except the summary
+    itself, sorted by name (recursive — CI drops each job's artifact
+    into its own subdirectory)."""
+    return sorted(
+        p for p in directory.rglob("BENCH_*.json") if p.name != SUMMARY_NAME
+    )
+
+
+def headline(doc: dict) -> dict:
+    """The scalar figures worth comparing across runs: row count plus
+    the max of every factor-like row field present."""
+    rows = doc.get("rows", [])
+    out = {"rows": len(rows)}
+    for key in FACTOR_KEYS:
+        values = [r[key] for r in rows if isinstance(r, dict) and key in r]
+        if values:
+            out[key] = max(values)
+    return out
+
+
+def merge(paths: list[Path]) -> dict:
+    """Fold benchmark documents into one summary document.
+
+    Duplicate bench names (the same artifact found twice) keep the
+    last one in path order and record the collision under ``skipped``.
+    Files that are not valid JSON objects are skipped the same way.
+    """
+    benches: dict[str, dict] = {}
+    skipped: list[dict] = []
+    for path in paths:
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            skipped.append({"file": str(path), "reason": str(exc)})
+            continue
+        if not isinstance(doc, dict) or "bench" not in doc:
+            skipped.append({"file": str(path), "reason": "no 'bench' key"})
+            continue
+        name = doc["bench"]
+        if name in benches:
+            skipped.append({"file": str(path),
+                            "reason": f"duplicate bench {name!r} (kept last)"})
+        benches[name] = {"source": path.name,
+                         "headline": headline(doc),
+                         "doc": doc}
+    return {
+        "summary": "bench-trend",
+        "schema": 1,
+        "benches": dict(sorted(benches.items())),
+        "skipped": skipped,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", default=".", metavar="DIR",
+                        help="directory scanned (recursively) for "
+                             "BENCH_*.json artifacts (default: cwd)")
+    parser.add_argument("--out", default=SUMMARY_NAME, metavar="FILE",
+                        help=f"merged output path (default: {SUMMARY_NAME})")
+    args = parser.parse_args(argv)
+
+    paths = collect(Path(args.dir))
+    summary = merge(paths)
+    Path(args.out).write_text(json.dumps(summary, indent=2))
+
+    for name, entry in summary["benches"].items():
+        figures = ", ".join(f"{k}={v:.2f}" if isinstance(v, float) else f"{k}={v}"
+                            for k, v in entry["headline"].items())
+        print(f"  {name:<16} {figures}   [{entry['source']}]")
+    for item in summary["skipped"]:
+        print(f"  skipped {item['file']}: {item['reason']}", file=sys.stderr)
+    print(f"{len(summary['benches'])} bench(es) merged into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
